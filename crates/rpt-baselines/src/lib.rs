@@ -1,0 +1,43 @@
+//! # rpt-baselines
+//!
+//! From-scratch reimplementations of the systems the paper compares
+//! against:
+//!
+//! * [`bart_text::BartText`] — the "BART" column of Table 1: the *same*
+//!   encoder-decoder architecture as RPT-C, pretrained only on
+//!   natural-language product prose (never on tuple serializations), then
+//!   asked to fill masked tuple values. Isolates the paper's variable:
+//!   relational pretraining.
+//! * [`zeroer::ZeroEr`] — the ZeroER row of Table 2: an *unsupervised*
+//!   matcher fitting a two-component Gaussian mixture over classic
+//!   similarity features by EM, with zero labeled examples.
+//! * [`deepmatcher::DeepMatcherLike`] — the DeepMatcher row of Table 2: a
+//!   *supervised* neural matcher trained on hundreds of labeled pairs from
+//!   the **target** dataset (its defining trait in the paper's comparison).
+//! * [`rules::JaccardMatcher`] — a trivial threshold matcher, the sanity
+//!   floor every learned system must beat.
+
+pub mod bart_text;
+pub mod deepmatcher;
+pub mod features;
+pub mod rules;
+pub mod zeroer;
+
+pub use bart_text::BartText;
+pub use deepmatcher::DeepMatcherLike;
+pub use features::{pair_features, FEATURE_NAMES};
+pub use rules::JaccardMatcher;
+pub use zeroer::ZeroEr;
+
+/// Common interface for Table-2 matchers: score candidate pairs of a
+/// benchmark with P(match).
+pub trait PairScorer {
+    /// Scores each `(a_row, b_row)` candidate.
+    fn score(&mut self, bench: &rpt_datagen::ErBenchmark, pairs: &[(usize, usize)]) -> Vec<f32>;
+    /// Display name for reports.
+    fn name(&self) -> &str;
+    /// Decision threshold on the score.
+    fn threshold(&self) -> f32 {
+        0.5
+    }
+}

@@ -1,0 +1,182 @@
+//! # rpt-bench
+//!
+//! Experiment harnesses regenerating every table and figure of the paper
+//! (see `DESIGN.md` for the index). Each binary prints the paper-style
+//! table and writes a JSON artifact under `bench_results/`.
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — RPT-C vs BART masked-value recovery |
+//! | `table2` | Table 2 — RPT-E vs ZeroER vs DeepMatcher F-measure |
+//! | `fig1_scenarios` | Fig. 1 — the three motivating scenarios, live |
+//! | `fig3_denoising` | Fig. 3 — reconstruction vs corruption rate |
+//! | `fig4_ablation` | Fig. 4 — input/masking ablations of RPT-C |
+//! | `fig5_pipeline` | Fig. 5 — per-stage ER pipeline metrics + few-shot |
+//! | `fig6_ie` | Fig. 6 — IE-as-QA span extraction + k-shot questions |
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rpt_baselines::PairScorer;
+use rpt_core::er::Blocker;
+use rpt_core::vocabulary::build_vocab;
+use rpt_datagen::{standard_benchmarks, text_corpus, ErBenchmark, Universe};
+use rpt_nn::metrics::BinaryConfusion;
+use rpt_table::Table;
+use rpt_tokenizer::Vocab;
+
+/// Shared experiment inputs: one universe, the five benchmark views, the
+/// prose corpus, and a vocabulary covering all of it.
+pub struct Workbench {
+    /// The ground-truth catalog.
+    pub universe: Universe,
+    /// The five benchmark views (abt-buy, amazon-google, walmart-amazon,
+    /// itunes-amazon, sigmod-contest).
+    pub benches: Vec<ErBenchmark>,
+    /// Natural-language prose about the same catalog.
+    pub corpus: Vec<String>,
+    /// Vocabulary over tables + prose.
+    pub vocab: Vocab,
+}
+
+impl Workbench {
+    /// Builds the standard experimental setup. `n_a` controls benchmark
+    /// size (entities per side-A); `seed` fixes everything.
+    pub fn new(n_a: usize, seed: u64) -> Workbench {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (universe, benches) = standard_benchmarks(n_a, &mut rng);
+        let corpus = text_corpus(&universe, n_a * 12, &mut rng);
+        let tables: Vec<&Table> = benches
+            .iter()
+            .flat_map(|b| [&b.table_a, &b.table_b])
+            .collect();
+        let vocab = build_vocab(&tables, &corpus, 1, 12_000);
+        Workbench {
+            universe,
+            benches,
+            corpus,
+            vocab,
+        }
+    }
+
+    /// All tables of all benchmarks.
+    pub fn all_tables(&self) -> Vec<&Table> {
+        self.benches
+            .iter()
+            .flat_map(|b| [&b.table_a, &b.table_b])
+            .collect()
+    }
+
+    /// The benchmark with this name.
+    pub fn bench(&self, name: &str) -> &ErBenchmark {
+        self.benches
+            .iter()
+            .find(|b| b.name == name)
+            .unwrap_or_else(|| panic!("no benchmark named {name}"))
+    }
+}
+
+/// End-to-end F-measure of a [`PairScorer`] on a benchmark: block, score,
+/// threshold; matches lost by blocking count as false negatives (the
+/// standard ER evaluation protocol).
+pub fn evaluate_scorer(
+    scorer: &mut dyn PairScorer,
+    bench: &ErBenchmark,
+    blocker: &Blocker,
+) -> BinaryConfusion {
+    let candidates = blocker.candidates(&bench.table_a, &bench.table_b);
+    let scores = scorer.score(bench, &candidates);
+    let threshold = scorer.threshold();
+    let mut conf = BinaryConfusion::default();
+    let mut seen = HashSet::new();
+    for (&(i, j), &s) in candidates.iter().zip(scores.iter()) {
+        conf.record(s >= threshold, bench.is_match(i, j));
+        seen.insert((i, j));
+    }
+    for (i, j) in bench.all_matches() {
+        if !seen.contains(&(i, j)) {
+            conf.record(false, true);
+        }
+    }
+    conf
+}
+
+/// Writes a JSON artifact under `bench_results/`, creating the directory.
+pub fn write_artifact(name: &str, value: &serde_json::Value) {
+    let dir = Path::new("bench_results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: cannot write {path:?}: {e}");
+            } else {
+                println!("\n[artifact] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize artifact {name}: {e}"),
+    }
+}
+
+/// Formats a fraction as `0.xy`.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpt_baselines::JaccardMatcher;
+
+    #[test]
+    fn workbench_is_deterministic() {
+        let w1 = Workbench::new(20, 5);
+        let w2 = Workbench::new(20, 5);
+        assert_eq!(w1.vocab.len(), w2.vocab.len());
+        assert_eq!(w1.benches.len(), 5);
+        assert_eq!(
+            w1.bench("abt-buy").table_a.row(0).values(),
+            w2.bench("abt-buy").table_a.row(0).values()
+        );
+        assert_eq!(w1.all_tables().len(), 10);
+    }
+
+    #[test]
+    fn evaluate_scorer_counts_blocking_misses() {
+        let w = Workbench::new(25, 6);
+        let bench = w.bench("walmart-amazon");
+        // a scorer that always says "no" has recall 0 → F1 0, and the
+        // confusion must cover every ground-truth match
+        struct Never;
+        impl PairScorer for Never {
+            fn score(
+                &mut self,
+                _b: &ErBenchmark,
+                pairs: &[(usize, usize)],
+            ) -> Vec<f32> {
+                vec![0.0; pairs.len()]
+            }
+            fn name(&self) -> &str {
+                "never"
+            }
+        }
+        let conf = evaluate_scorer(&mut Never, bench, &Blocker::default());
+        assert_eq!(conf.tp, 0);
+        assert_eq!(conf.fn_, bench.all_matches().len());
+
+        let mut jac = JaccardMatcher { threshold: 0.35 };
+        let conf = evaluate_scorer(&mut jac, bench, &Blocker::default());
+        assert!(conf.f1() > 0.1, "jaccard f1 {}", conf.f1());
+    }
+
+    #[test]
+    #[should_panic(expected = "no benchmark named")]
+    fn unknown_benchmark_panics() {
+        Workbench::new(10, 1).bench("nope");
+    }
+}

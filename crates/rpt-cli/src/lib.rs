@@ -1,0 +1,578 @@
+//! # rpt-cli
+//!
+//! The "plug and play" tool of §2.2 research opportunity O3: *"anyone can
+//! download a pretrained RPT-C and run it locally …, which can then be
+//! used to directly detect and repair errors for local data"*.
+//!
+//! The library half implements the four commands over local CSV files;
+//! `main.rs` is a thin argument parser around them.
+//!
+//! ```text
+//! rpt profile <file.csv>                         column stats + approximate FDs
+//! rpt clean   <file.csv> [--column C] [--steps N] [--load M] [--save M] [--output OUT]
+//! rpt detect  <file.csv> [--steps N] [--load M]  hybrid error detection
+//! rpt match   <a.csv> <b.csv> [--threshold T]    unsupervised matching (ZeroER)
+//! ```
+
+use std::fmt::Write as _;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rpt_baselines::ZeroEr;
+use rpt_core::cleaning::{CleaningConfig, Filler, RptC};
+use rpt_core::detect::{detect_errors, DetectorConfig};
+use rpt_core::er::{Blocker, BlockerConfig};
+use rpt_core::train::TrainOpts;
+use rpt_core::vocabulary::build_vocab;
+use rpt_datagen::ErBenchmark;
+use rpt_table::{csv, Table, TableProfile};
+use rpt_tensor::serialize;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad usage (message printed with the help text).
+    Usage(String),
+    /// IO / parse failure.
+    Data(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Data(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Reads a CSV file into a table.
+pub fn load_table(path: &str) -> Result<Table, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Data(format!("cannot read {path}: {e}")))?;
+    csv::read_table(path, &text).map_err(|e| CliError::Data(format!("{path}: {e}")))
+}
+
+/// `rpt profile` — column statistics and discovered approximate FDs.
+pub fn cmd_profile(path: &str) -> Result<String, CliError> {
+    let table = load_table(path)?;
+    let profile = TableProfile::compute(&table, 0.75, 3);
+    let mut out = String::new();
+    let _ = writeln!(out, "table {} — {} rows, {} columns", path, table.len(), table.schema().arity());
+    let _ = writeln!(out, "\n{:<20} {:>9} {:>10} {:>9} {:>8}", "column", "distinct", "null-rate", "numeric", "avg-len");
+    for c in &profile.columns {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>9} {:>10.2} {:>9.2} {:>8.1}",
+            c.name, c.distinct, c.null_rate, c.numeric_rate, c.avg_len
+        );
+    }
+    if profile.fds.is_empty() {
+        let _ = writeln!(out, "\nno approximate FDs above strength 0.75");
+    } else {
+        let _ = writeln!(out, "\napproximate FDs (strength ≥ 0.75):");
+        for fd in &profile.fds {
+            let _ = writeln!(
+                out,
+                "  {} -> {}   strength {:.2} (support {})",
+                table.schema().name(fd.lhs),
+                table.schema().name(fd.rhs),
+                fd.strength,
+                fd.support
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Options for `rpt clean` / `rpt detect`.
+#[derive(Debug, Clone)]
+pub struct CleanOptions {
+    /// Only fill this column (by name); default: every column with NULLs.
+    pub column: Option<String>,
+    /// Pretraining steps on the file itself.
+    pub steps: usize,
+    /// Load a pretrained checkpoint instead of (or before) training.
+    pub load: Option<String>,
+    /// Save the trained model here.
+    pub save: Option<String>,
+    /// Write the repaired table here (clean only).
+    pub output: Option<String>,
+}
+
+impl Default for CleanOptions {
+    fn default() -> Self {
+        Self {
+            column: None,
+            steps: 400,
+            load: None,
+            save: None,
+            output: None,
+        }
+    }
+}
+
+fn build_model(table: &Table, opts: &CleanOptions) -> Result<RptC, CliError> {
+    let vocab = build_vocab(&[table], &[], 1, 20_000);
+    let cfg = CleaningConfig {
+        train: TrainOpts {
+            steps: opts.steps,
+            batch_size: 16,
+            warmup: (opts.steps / 10).max(1),
+            peak_lr: 3e-3,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut model = RptC::new(vocab, cfg);
+    if let Some(path) = &opts.load {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Data(format!("cannot read checkpoint {path}: {e}")))?;
+        serialize::load_json(&mut model.params, &json)
+            .map_err(|e| CliError::Data(format!("checkpoint {path}: {e}")))?;
+    } else {
+        if opts.steps == 0 {
+            return Err(CliError::Usage(
+                "either --steps > 0 or --load <checkpoint> is required".into(),
+            ));
+        }
+        model.pretrain(&[table]);
+    }
+    if let Some(path) = &opts.save {
+        serialize::save_file(&model.params, path)
+            .map_err(|e| CliError::Data(format!("cannot save checkpoint: {e}")))?;
+    }
+    Ok(model)
+}
+
+/// `rpt clean` — fill NULLs (optionally restricted to one column); returns
+/// the report and writes the repaired CSV if requested.
+pub fn cmd_clean(path: &str, opts: &CleanOptions) -> Result<String, CliError> {
+    let mut table = load_table(path)?;
+    let target_cols: Vec<usize> = match &opts.column {
+        Some(name) => vec![table
+            .schema()
+            .index_of(name)
+            .ok_or_else(|| CliError::Usage(format!("no column named {name}")))?],
+        None => (0..table.schema().arity()).collect(),
+    };
+    let mut model = build_model(&table, opts)?;
+    let mut report = String::new();
+    let mut repairs = 0usize;
+    let rows = table.len();
+    for row in 0..rows {
+        for &col in &target_cols {
+            if !table.row(row).get(col).is_null() {
+                continue;
+            }
+            let fill = model.fill(table.schema(), table.row(row), col);
+            if fill.text.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                report,
+                "row {:>4} {:<16} -> {:?}",
+                row,
+                table.schema().name(col),
+                fill.text
+            );
+            table.tuples_mut()[row].replace(col, rpt_table::Value::parse(&fill.text));
+            repairs += 1;
+        }
+    }
+    let _ = writeln!(report, "{repairs} value(s) filled");
+    if let Some(out_path) = &opts.output {
+        std::fs::write(out_path, csv::write_table(&table))
+            .map_err(|e| CliError::Data(format!("cannot write {out_path}: {e}")))?;
+        let _ = writeln!(report, "repaired table written to {out_path}");
+    }
+    Ok(report)
+}
+
+/// `rpt detect` — hybrid error detection over every column.
+pub fn cmd_detect(path: &str, opts: &CleanOptions) -> Result<String, CliError> {
+    let table = load_table(path)?;
+    let mut model = build_model(&table, opts)?;
+    let cols: Vec<usize> = (0..table.schema().arity()).collect();
+    let suspects = detect_errors(&mut model, &table, &cols, &DetectorConfig::default());
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "{} suspicious cell(s) in {} rows x {} columns",
+        suspects.len(),
+        table.len(),
+        cols.len()
+    );
+    for s in &suspects {
+        let _ = writeln!(
+            report,
+            "row {:>4} {:<16} value {:?} (agreement {:.2}{}) suggestion {:?}",
+            s.row,
+            table.schema().name(s.col),
+            table.row(s.row).get(s.col).render(),
+            s.agreement,
+            s.z_score
+                .map(|z| format!(", z {z:.1}"))
+                .unwrap_or_default(),
+            s.suggestion
+        );
+    }
+    Ok(report)
+}
+
+/// `rpt match` — unsupervised matching of two CSV files (blocking +
+/// ZeroER); prints pairs scoring at or above the threshold.
+pub fn cmd_match(path_a: &str, path_b: &str, threshold: f32) -> Result<String, CliError> {
+    let table_a = load_table(path_a)?;
+    let table_b = load_table(path_b)?;
+    let na = table_a.len();
+    let nb = table_b.len();
+    // entity ids are all-distinct placeholders: the unsupervised scorer
+    // never looks at them
+    let bench = ErBenchmark {
+        name: "cli".into(),
+        entity_a: (0..na as u64).collect(),
+        entity_b: (na as u64..(na + nb) as u64).collect(),
+        table_a,
+        table_b,
+    };
+    let blocker = Blocker::new(BlockerConfig::default());
+    let candidates = blocker.candidates(&bench.table_a, &bench.table_b);
+    let mut zeroer = ZeroEr::new();
+    let scores = zeroer.fit_predict(&bench, &candidates);
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "{} candidates after blocking ({} x {} rows)",
+        candidates.len(),
+        na,
+        nb
+    );
+    let mut ranked: Vec<(f32, usize, usize)> = scores
+        .iter()
+        .zip(candidates.iter())
+        .filter(|(&s, _)| s >= threshold)
+        .map(|(&s, &(i, j))| (s, i, j))
+        .collect();
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let _ = writeln!(report, "{} pair(s) at or above {threshold}:", ranked.len());
+    for (s, i, j) in ranked {
+        let _ = writeln!(
+            report,
+            "  {s:.2}  a[{i}] {:?}  ~  b[{j}] {:?}",
+            bench.table_a.row(i).get(0).render(),
+            bench.table_b.row(j).get(0).render()
+        );
+    }
+    Ok(report)
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `rpt profile <csv>`
+    Profile(String),
+    /// `rpt clean <csv> [flags]`
+    Clean(String, CleanOptionsSpec),
+    /// `rpt detect <csv> [flags]`
+    Detect(String, CleanOptionsSpec),
+    /// `rpt match <csv> <csv> [--threshold T]`
+    Match(String, String, f32),
+    /// `rpt help`
+    Help,
+}
+
+/// The flag subset shared by clean/detect (kept `PartialEq` for tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleanOptionsSpec {
+    /// `--column`
+    pub column: Option<String>,
+    /// `--steps`
+    pub steps: usize,
+    /// `--load`
+    pub load: Option<String>,
+    /// `--save`
+    pub save: Option<String>,
+    /// `--output`
+    pub output: Option<String>,
+}
+
+impl From<CleanOptionsSpec> for CleanOptions {
+    fn from(s: CleanOptionsSpec) -> Self {
+        CleanOptions {
+            column: s.column,
+            steps: s.steps,
+            load: s.load,
+            save: s.save,
+            output: s.output,
+        }
+    }
+}
+
+/// The help text.
+pub const USAGE: &str = "rpt — relational pre-trained transformer, plug-and-play
+
+USAGE:
+  rpt profile <file.csv>
+  rpt clean   <file.csv> [--column NAME] [--steps N] [--load MODEL] [--save MODEL] [--output OUT]
+  rpt detect  <file.csv> [--steps N] [--load MODEL] [--save MODEL]
+  rpt match   <a.csv> <b.csv> [--threshold T]
+  rpt help
+";
+
+/// Parses argv (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    let parse_clean_flags = |rest: &[String]| -> Result<CleanOptionsSpec, CliError> {
+        let mut spec = CleanOptionsSpec {
+            column: None,
+            steps: 400,
+            load: None,
+            save: None,
+            output: None,
+        };
+        let mut i = 0;
+        while i < rest.len() {
+            let flag = rest[i].as_str();
+            let value = rest
+                .get(i + 1)
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+            match flag {
+                "--column" => spec.column = Some(value.clone()),
+                "--steps" => {
+                    spec.steps = value
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("bad --steps {value}")))?
+                }
+                "--load" => spec.load = Some(value.clone()),
+                "--save" => spec.save = Some(value.clone()),
+                "--output" => spec.output = Some(value.clone()),
+                other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+            }
+            i += 2;
+        }
+        Ok(spec)
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "profile" => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError::Usage("profile needs a file".into()))?;
+            Ok(Command::Profile(path.clone()))
+        }
+        "clean" | "detect" => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("{cmd} needs a file")))?
+                .clone();
+            let rest: Vec<String> = it.cloned().collect();
+            let spec = parse_clean_flags(&rest)?;
+            if cmd == "clean" {
+                Ok(Command::Clean(path, spec))
+            } else {
+                Ok(Command::Detect(path, spec))
+            }
+        }
+        "match" => {
+            let a = it
+                .next()
+                .ok_or_else(|| CliError::Usage("match needs two files".into()))?
+                .clone();
+            let b = it
+                .next()
+                .ok_or_else(|| CliError::Usage("match needs two files".into()))?
+                .clone();
+            let rest: Vec<String> = it.cloned().collect();
+            let mut threshold = 0.5f32;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--threshold" => {
+                        let v = rest
+                            .get(i + 1)
+                            .ok_or_else(|| CliError::Usage("--threshold needs a value".into()))?;
+                        threshold = v
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad --threshold {v}")))?;
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+                i += 2;
+            }
+            Ok(Command::Match(a, b, threshold))
+        }
+        other => Err(CliError::Usage(format!("unknown command {other}"))),
+    }
+}
+
+/// Runs a parsed command, returning the report to print.
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    // deterministic seeding for the on-the-fly training paths
+    let _rng = SmallRng::seed_from_u64(0);
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Profile(path) => cmd_profile(&path),
+        Command::Clean(path, spec) => cmd_clean(&path, &spec.into()),
+        Command::Detect(path, spec) => cmd_detect(&path, &spec.into()),
+        Command::Match(a, b, t) => cmd_match(&a, &b, t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_profile_and_help() {
+        assert_eq!(
+            parse_args(&s(&["profile", "a.csv"])).unwrap(),
+            Command::Profile("a.csv".into())
+        );
+        assert_eq!(parse_args(&s(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_clean_flags() {
+        let cmd = parse_args(&s(&[
+            "clean", "d.csv", "--column", "price", "--steps", "100", "--output", "out.csv",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Clean(path, spec) => {
+                assert_eq!(path, "d.csv");
+                assert_eq!(spec.column.as_deref(), Some("price"));
+                assert_eq!(spec.steps, 100);
+                assert_eq!(spec.output.as_deref(), Some("out.csv"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_match_threshold() {
+        let cmd = parse_args(&s(&["match", "a.csv", "b.csv", "--threshold", "0.8"])).unwrap();
+        assert_eq!(cmd, Command::Match("a.csv".into(), "b.csv".into(), 0.8));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            parse_args(&s(&["clean"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["clean", "x.csv", "--bogus", "1"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["clean", "x.csv", "--steps", "NaN"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn profile_command_end_to_end() {
+        let dir = std::env::temp_dir().join("rpt-cli-test-profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(
+            &path,
+            "brand,maker,price\niphone,apple,9\niphone,apple,8\ngalaxy,samsung,7\ngalaxy,samsung,6\n",
+        )
+        .unwrap();
+        let report = cmd_profile(path.to_str().unwrap()).unwrap();
+        assert!(report.contains("4 rows"));
+        assert!(report.contains("brand -> maker"), "{report}");
+    }
+
+    #[test]
+    fn clean_command_fills_nulls_end_to_end() {
+        let dir = std::env::temp_dir().join("rpt-cli-test-clean");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let out = dir.join("out.csv");
+        // repetitive FD so a tiny model can learn it
+        let mut csv = String::from("brand,maker\n");
+        for _ in 0..10 {
+            csv.push_str("iphone,apple\ngalaxy,samsung\n");
+        }
+        csv.push_str("iphone,\n"); // the NULL to repair
+        std::fs::write(&path, &csv).unwrap();
+        let report = cmd_clean(
+            path.to_str().unwrap(),
+            &CleanOptions {
+                steps: 150,
+                output: Some(out.to_str().unwrap().to_string()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(report.contains("1 value(s) filled"), "{report}");
+        let repaired = std::fs::read_to_string(&out).unwrap();
+        let last = repaired.trim_end().lines().last().unwrap();
+        assert!(last.starts_with("iphone,"));
+        assert_ne!(last, "iphone,", "null must be filled, got {last}");
+    }
+
+    #[test]
+    fn match_command_end_to_end() {
+        let dir = std::env::temp_dir().join("rpt-cli-test-match");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.csv");
+        let b = dir.join("b.csv");
+        std::fs::write(&a, "title,brand\niphone ten 64 gb,apple\ngalaxy nine,samsung\npixel three,google\nxperia five,sony\nthinkpad two,lenovo\n").unwrap();
+        std::fs::write(&b, "title,brand\niphone ten 64gb,apple inc\nzenbook seven,asus\ncoolpix eight,nikon\nsoundlink one,bose\nsurface four,microsoft\n").unwrap();
+        let report = cmd_match(a.to_str().unwrap(), b.to_str().unwrap(), 0.3).unwrap();
+        assert!(report.contains("candidates after blocking"));
+    }
+
+    #[test]
+    fn checkpoint_save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join("rpt-cli-test-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let model = dir.join("model.json");
+        let mut csv = String::from("brand,maker\n");
+        for _ in 0..6 {
+            csv.push_str("iphone,apple\ngalaxy,samsung\n");
+        }
+        std::fs::write(&path, &csv).unwrap();
+        // train + save
+        cmd_clean(
+            path.to_str().unwrap(),
+            &CleanOptions {
+                steps: 40,
+                save: Some(model.to_str().unwrap().to_string()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(model.exists());
+        // load without training
+        let report = cmd_detect(
+            path.to_str().unwrap(),
+            &CleanOptions {
+                steps: 0,
+                load: Some(model.to_str().unwrap().to_string()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(report.contains("suspicious cell(s)"));
+    }
+}

@@ -1,0 +1,19 @@
+//! `rpt` — the plug-and-play binary. All logic lives in the library; this
+//! is argv handling and exit codes only.
+
+use rpt_cli::{parse_args, run, CliError, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(run) {
+        Ok(report) => print!("{report}"),
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

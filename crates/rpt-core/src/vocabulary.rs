@@ -1,0 +1,63 @@
+//! Vocabulary construction over mixed corpora (tables + prose).
+//!
+//! RPT-C and its text-only baseline are compared on the *same* vocabulary,
+//! so neither model is handicapped by out-of-vocabulary test tokens: the
+//! experiment isolates what the model was pretrained *on*, not what it can
+//! represent.
+
+use rpt_table::Table;
+use rpt_tokenizer::{Vocab, VocabBuilder};
+
+/// Builds a vocabulary from attribute names, attribute values, and free
+/// text. `min_count` and `max_size` are forwarded to the builder.
+pub fn build_vocab(
+    tables: &[&Table],
+    texts: &[String],
+    min_count: usize,
+    max_size: usize,
+) -> Vocab {
+    let mut b = VocabBuilder::new();
+    for table in tables {
+        for name in table.schema().names() {
+            b.add_text(name);
+        }
+        for tuple in table.tuples() {
+            for v in tuple.values() {
+                if !v.is_null() {
+                    b.add_text(&v.render());
+                }
+            }
+        }
+    }
+    for t in texts {
+        b.add_text(t);
+    }
+    b.build(min_count, max_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpt_table::{Schema, Value};
+
+    #[test]
+    fn vocab_covers_names_values_and_text() {
+        let mut t = Table::new("t", Schema::text_columns(&["title", "price"]));
+        t.push_values(vec![Value::text("iphone x"), Value::Float(9.99)]);
+        let texts = vec!["prose about gadgets".to_string()];
+        let v = build_vocab(&[&t], &texts, 1, 1000);
+        for tok in ["title", "price", "iphone", "x", "9.99", "prose", "gadgets"] {
+            assert!(v.contains(tok), "missing {tok}");
+        }
+    }
+
+    #[test]
+    fn nulls_are_skipped() {
+        let mut t = Table::new("t", Schema::text_columns(&["a"]));
+        t.push_values(vec![Value::Null]);
+        let v = build_vocab(&[&t], &[], 1, 100);
+        // only the attribute name and specials
+        assert!(v.contains("a"));
+        assert_eq!(v.len(), rpt_tokenizer::NUM_SPECIAL + 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # rpt-datagen
+//!
+//! Synthetic product-domain benchmark generators for the RPT reproduction.
+//!
+//! The paper evaluates on the Magellan product ER benchmarks (Abt-Buy,
+//! Amazon-Google, Walmart-Amazon, iTunes-Amazon, SIGMOD'20 contest). Those
+//! datasets are not available offline, so this crate builds a *product
+//! universe* with the same phenomena the paper's Figure 1 motivates:
+//!
+//! * a ground-truth catalog of entities whose attributes are linked by
+//!   (approximate) functional dependencies — brand+line+model determine
+//!   year, memory options, screen size, and (noisily) price;
+//! * multiple *benchmark views* of that catalog, each with its own schema,
+//!   column subset, and surface-noise profile: brand aliases
+//!   (`Apple` ↔ `Apple Inc` ↔ `AAPL`), model-number variants
+//!   (`10` ↔ `X` ↔ `ten`), unit variants (`5.8-inch` ↔ `5.8 inches`),
+//!   typos, token dropout, and token reordering;
+//! * match labels derived from shared ground-truth entity ids, so
+//!   leave-one-benchmark-out transfer — the paper's "collaborative
+//!   training" — is directly measurable;
+//! * a natural-language product-prose corpus for the text-only BART
+//!   baseline of Table 1;
+//! * error-injection operators for the dirty-data robustness experiments
+//!   (research opportunity O2 of §2.2).
+
+pub mod benchmarks;
+pub mod corpus;
+pub mod corrupt;
+pub mod render;
+pub mod universe;
+
+pub use benchmarks::{standard_benchmarks, BenchmarkProfile, ErBenchmark, LabeledPair, PairSet};
+pub use corpus::text_corpus;
+pub use corrupt::{inject_errors, ErrorSpec};
+pub use render::{NoiseProfile, Renderer};
+pub use universe::{Category, Entity, Universe, UniverseConfig};

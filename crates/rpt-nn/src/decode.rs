@@ -1,0 +1,282 @@
+//! Autoregressive decoding: greedy and beam search over a [`Seq2Seq`].
+//!
+//! Inference rebuilds the graph per call on a single tape (no KV cache);
+//! the value spans RPT-C generates are short (a handful of tokens), so
+//! clarity wins over micro-optimization here.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rpt_tensor::{ParamStore, Tape};
+
+use crate::batch::{Sequence, TokenBatch};
+use crate::module::Ctx;
+use crate::seq2seq::Seq2Seq;
+
+/// Beam-search settings.
+#[derive(Debug, Clone)]
+pub struct BeamConfig {
+    /// Beam width.
+    pub width: usize,
+    /// Maximum generated tokens (excluding BOS/EOS).
+    pub max_steps: usize,
+    /// Length-normalization exponent (0 = none, 1 = mean log-prob).
+    pub len_penalty: f32,
+}
+
+impl Default for BeamConfig {
+    fn default() -> Self {
+        Self {
+            width: 4,
+            max_steps: 12,
+            len_penalty: 1.0,
+        }
+    }
+}
+
+/// Log-softmax of one logits row (host side).
+fn log_softmax_row(row: &[f32]) -> Vec<f32> {
+    let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let lse = max + row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+    row.iter().map(|&x| x - lse).collect()
+}
+
+/// Next-token log-probabilities given the prefix (which starts with BOS).
+fn next_logprobs(
+    model: &Seq2Seq,
+    params: &mut ParamStore,
+    src: &TokenBatch,
+    prefix: &[usize],
+) -> Vec<f32> {
+    let tape = Tape::new();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut ctx = Ctx::new(&tape, params, &mut rng, false);
+    let enc = model.encode(&mut ctx, src);
+    let tgt_in = TokenBatch::from_sequences(
+        &[Sequence::from_ids(prefix.to_vec())],
+        model.config().max_len,
+        0,
+    );
+    let logits = model.decode_logits(&mut ctx, &tgt_in, enc, src);
+    let lv = tape.value(logits);
+    let v = model.config().vocab_size;
+    let last = prefix.len() - 1;
+    log_softmax_row(&lv.data()[last * v..(last + 1) * v])
+}
+
+/// Greedy decoding of a single source (`src.b == 1`). Returns the generated
+/// token ids (without BOS/EOS).
+pub fn greedy_decode(
+    model: &Seq2Seq,
+    params: &mut ParamStore,
+    src: &TokenBatch,
+    bos: usize,
+    eos: usize,
+    max_steps: usize,
+) -> Vec<usize> {
+    assert_eq!(src.b, 1, "greedy_decode expects a single source");
+    let mut prefix = vec![bos];
+    for _ in 0..max_steps {
+        let lp = next_logprobs(model, params, src, &prefix);
+        let next = argmax(&lp);
+        if next == eos {
+            break;
+        }
+        prefix.push(next);
+        if prefix.len() >= model.config().max_len {
+            break;
+        }
+    }
+    prefix[1..].to_vec()
+}
+
+/// One scored hypothesis from [`beam_search`].
+#[derive(Debug, Clone)]
+pub struct Hypothesis {
+    /// Generated tokens (without BOS/EOS).
+    pub tokens: Vec<usize>,
+    /// Length-normalized log-probability.
+    pub score: f32,
+}
+
+/// Beam search over a single source. Returns hypotheses best-first.
+pub fn beam_search(
+    model: &Seq2Seq,
+    params: &mut ParamStore,
+    src: &TokenBatch,
+    bos: usize,
+    eos: usize,
+    cfg: &BeamConfig,
+) -> Vec<Hypothesis> {
+    assert_eq!(src.b, 1, "beam_search expects a single source");
+    assert!(cfg.width > 0, "beam width must be positive");
+    // (prefix including BOS, cumulative log-prob)
+    let mut beams: Vec<(Vec<usize>, f32)> = vec![(vec![bos], 0.0)];
+    let mut done: Vec<Hypothesis> = Vec::new();
+
+    for _ in 0..cfg.max_steps {
+        let mut candidates: Vec<(Vec<usize>, f32)> = Vec::new();
+        for (prefix, logp) in &beams {
+            if prefix.len() >= model.config().max_len {
+                done.push(finish(prefix, *logp, cfg));
+                continue;
+            }
+            let lp = next_logprobs(model, params, src, prefix);
+            let mut idx: Vec<usize> = (0..lp.len()).collect();
+            idx.sort_by(|&a, &b| lp[b].total_cmp(&lp[a]));
+            for &tok in idx.iter().take(cfg.width) {
+                if tok == eos {
+                    done.push(finish(prefix, logp + lp[tok], cfg));
+                } else {
+                    let mut next = prefix.clone();
+                    next.push(tok);
+                    candidates.push((next, logp + lp[tok]));
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
+        candidates.truncate(cfg.width);
+        beams = candidates;
+        // Early exit: enough finished hypotheses that beat all live beams.
+        if done.len() >= cfg.width {
+            let best_live = beams.first().map(|(_, l)| *l).unwrap_or(f32::NEG_INFINITY);
+            done.sort_by(|a, b| b.score.total_cmp(&a.score));
+            if done[cfg.width - 1].score >= best_live {
+                break;
+            }
+        }
+    }
+    for (prefix, logp) in beams {
+        done.push(finish(&prefix, logp, cfg));
+    }
+    done.sort_by(|a, b| b.score.total_cmp(&a.score));
+    done.truncate(cfg.width);
+    done
+}
+
+fn finish(prefix: &[usize], logp: f32, cfg: &BeamConfig) -> Hypothesis {
+    let len = (prefix.len() - 1).max(1) as f32;
+    Hypothesis {
+        tokens: prefix[1..].to_vec(),
+        score: logp / len.powf(cfg.len_penalty),
+    }
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("argmax of empty slice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq2seq::TransformerConfig;
+    use rpt_tensor::{clip_global_norm, Adam, AdamConfig};
+
+    /// Trains a tiny copy model: output = input tokens.
+    fn trained_copy_model() -> (Seq2Seq, ParamStore) {
+        let mut params = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let model = Seq2Seq::new(&mut params, TransformerConfig::tiny(12), &mut rng);
+        let mut opt = Adam::new(AdamConfig {
+            lr: 3e-3,
+            ..Default::default()
+        });
+        let examples: Vec<Vec<usize>> = vec![
+            vec![9, 10],
+            vec![10, 9],
+            vec![11, 9],
+            vec![9, 11],
+            vec![10, 11],
+            vec![11, 10],
+        ];
+        let mut rng2 = SmallRng::seed_from_u64(1);
+        for _ in 0..150 {
+            let srcs: Vec<Sequence> = examples.iter().map(|e| Sequence::from_ids(e.clone())).collect();
+            let src = TokenBatch::from_sequences(&srcs, 16, 0);
+            let tgt_in: Vec<Sequence> = examples
+                .iter()
+                .map(|e| {
+                    let mut v = vec![1];
+                    v.extend(e);
+                    Sequence::from_ids(v)
+                })
+                .collect();
+            let tgt_in = TokenBatch::from_sequences(&tgt_in, 16, 0);
+            let mut tgt_out = vec![0usize; tgt_in.b * tgt_in.t];
+            for (bi, e) in examples.iter().enumerate() {
+                for (i, &tok) in e.iter().enumerate() {
+                    tgt_out[bi * tgt_in.t + i] = tok;
+                }
+                tgt_out[bi * tgt_in.t + e.len()] = 2; // EOS
+            }
+            let tape = Tape::new();
+            let mut rng3 = SmallRng::seed_from_u64(2);
+            let mut ctx = Ctx::new(&tape, &mut params, &mut rng3, true);
+            let loss = model.reconstruction_loss(&mut ctx, &src, &tgt_in, &tgt_out, 0);
+            let mut grads = tape.backward(loss);
+            let mut pg = params.collect_grads(&mut grads);
+            clip_global_norm(&mut pg, 1.0);
+            opt.step(&mut params, &pg);
+            let _ = &mut rng2;
+        }
+        (model, params)
+    }
+
+    #[test]
+    fn greedy_decodes_learned_copy() {
+        let (model, mut params) = trained_copy_model();
+        let src = TokenBatch::from_sequences(&[Sequence::from_ids(vec![10, 9])], 16, 0);
+        let out = greedy_decode(&model, &mut params, &src, 1, 2, 6);
+        assert_eq!(out, vec![10, 9]);
+    }
+
+    #[test]
+    fn beam_top_hypothesis_matches_greedy_on_peaked_model() {
+        let (model, mut params) = trained_copy_model();
+        let src = TokenBatch::from_sequences(&[Sequence::from_ids(vec![11, 10])], 16, 0);
+        let greedy = greedy_decode(&model, &mut params, &src, 1, 2, 6);
+        let beams = beam_search(
+            &model,
+            &mut params,
+            &src,
+            1,
+            2,
+            &BeamConfig {
+                width: 3,
+                max_steps: 6,
+                len_penalty: 1.0,
+            },
+        );
+        assert!(!beams.is_empty());
+        assert_eq!(beams[0].tokens, greedy);
+        // scores are sorted descending
+        for w in beams.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn beam_returns_at_most_width_hypotheses() {
+        let (model, mut params) = trained_copy_model();
+        let src = TokenBatch::from_sequences(&[Sequence::from_ids(vec![9])], 16, 0);
+        let beams = beam_search(
+            &model,
+            &mut params,
+            &src,
+            1,
+            2,
+            &BeamConfig {
+                width: 2,
+                max_steps: 4,
+                len_penalty: 0.0,
+            },
+        );
+        assert!(beams.len() <= 2);
+    }
+}

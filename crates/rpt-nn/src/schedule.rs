@@ -1,0 +1,76 @@
+//! Learning-rate schedules.
+
+/// The inverse-square-root warmup schedule from "Attention Is All You Need":
+/// `lr(step) = factor · d_model^-0.5 · min(step^-0.5, step · warmup^-1.5)`.
+#[derive(Debug, Clone)]
+pub struct NoamSchedule {
+    d_model: usize,
+    warmup: usize,
+    factor: f32,
+}
+
+impl NoamSchedule {
+    /// Creates a schedule. `warmup` must be positive.
+    pub fn new(d_model: usize, warmup: usize, factor: f32) -> Self {
+        assert!(warmup > 0, "warmup must be positive");
+        Self {
+            d_model,
+            warmup,
+            factor,
+        }
+    }
+
+    /// Learning rate at `step` (1-based; step 0 is treated as 1).
+    pub fn lr(&self, step: u64) -> f32 {
+        let s = step.max(1) as f32;
+        let w = self.warmup as f32;
+        self.factor * (self.d_model as f32).powf(-0.5) * s.powf(-0.5).min(s * w.powf(-1.5))
+    }
+}
+
+/// Linear warmup to `peak_lr` over `warmup` steps, then constant.
+pub fn linear_warmup(peak_lr: f32, warmup: u64, step: u64) -> f32 {
+    if warmup == 0 || step >= warmup {
+        peak_lr
+    } else {
+        peak_lr * (step.max(1) as f32) / (warmup as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noam_peaks_at_warmup() {
+        let s = NoamSchedule::new(64, 100, 1.0);
+        let before = s.lr(50);
+        let peak = s.lr(100);
+        let after = s.lr(400);
+        assert!(before < peak, "{before} !< {peak}");
+        assert!(after < peak, "{after} !< {peak}");
+    }
+
+    #[test]
+    fn noam_is_monotone_increasing_during_warmup() {
+        let s = NoamSchedule::new(64, 100, 1.0);
+        for step in 1..100u64 {
+            assert!(s.lr(step) <= s.lr(step + 1));
+        }
+    }
+
+    #[test]
+    fn noam_step_zero_is_finite() {
+        let s = NoamSchedule::new(64, 10, 1.0);
+        assert!(s.lr(0).is_finite());
+        assert!(s.lr(0) > 0.0);
+    }
+
+    #[test]
+    fn linear_warmup_ramps_then_holds() {
+        assert!((linear_warmup(1.0, 10, 5) - 0.5).abs() < 1e-6);
+        assert_eq!(linear_warmup(1.0, 10, 10), 1.0);
+        assert_eq!(linear_warmup(1.0, 10, 100), 1.0);
+        assert_eq!(linear_warmup(1.0, 0, 0), 1.0);
+    }
+}

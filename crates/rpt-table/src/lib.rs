@@ -1,0 +1,22 @@
+//! # rpt-table
+//!
+//! The relational substrate of the RPT reproduction: typed values, schemas,
+//! tuples, and tables, together with lightweight CSV IO and the data
+//! profiling pass (approximate functional-dependency discovery, in the
+//! spirit of CORDS) that RPT-C's FD-aware masking builds on (paper §2.2).
+//!
+//! The paper treats "each tuple as an atomic unit, regardless of its schema"
+//! — so [`Table`] is intentionally schema-flexible: different tables carry
+//! different [`Schema`]s, and downstream code (the tokenizer) serializes
+//! tuples attribute-by-attribute rather than relying on any global schema.
+
+pub mod csv;
+pub mod profile;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use profile::{ColumnProfile, FdCandidate, TableProfile};
+pub use schema::{ColumnType, Schema};
+pub use table::{Table, Tuple};
+pub use value::Value;

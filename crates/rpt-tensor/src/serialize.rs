@@ -1,0 +1,170 @@
+//! Parameter checkpointing: save/load a [`ParamStore`] as JSON.
+//!
+//! JSON is verbose but human-inspectable and needs no extra dependencies
+//! beyond `serde_json`; the models in this reproduction are small (well
+//! under a million scalars), so file size is not a concern.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::optim::ParamStore;
+use crate::tensor::Tensor;
+
+/// Serialized form of one parameter.
+#[derive(Serialize, Deserialize)]
+struct ParamRecord {
+    name: String,
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+/// Serialized form of a whole store.
+#[derive(Serialize, Deserialize)]
+struct Checkpoint {
+    format_version: u32,
+    params: Vec<ParamRecord>,
+}
+
+/// Errors from checkpoint IO.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Malformed JSON or wrong structure.
+    Parse(serde_json::Error),
+    /// The checkpoint does not match the store's parameters.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Parse(e)
+    }
+}
+
+/// Serializes every parameter of `store` to a JSON string.
+pub fn to_json(store: &ParamStore) -> String {
+    let ckpt = Checkpoint {
+        format_version: 1,
+        params: store
+            .iter()
+            .map(|(name, t)| ParamRecord {
+                name: name.to_string(),
+                shape: t.shape().to_vec(),
+                data: t.data().to_vec(),
+            })
+            .collect(),
+    };
+    serde_json::to_string(&ckpt).expect("checkpoint serialization cannot fail")
+}
+
+/// Loads parameter values from JSON into an existing store, matching by
+/// name. Every parameter in the store must be present with the same shape.
+pub fn load_json(store: &mut ParamStore, json: &str) -> Result<(), CheckpointError> {
+    let ckpt: Checkpoint = serde_json::from_str(json)?;
+    for record in ckpt.params {
+        let Some(id) = store.find(&record.name) else {
+            // Extra params in the file are tolerated (forward compat).
+            continue;
+        };
+        if store.value(id).shape() != record.shape.as_slice() {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter {} has shape {:?} in store but {:?} in checkpoint",
+                record.name,
+                store.value(id).shape(),
+                record.shape
+            )));
+        }
+        let t = Tensor::from_vec(record.data, &record.shape)
+            .map_err(|e| CheckpointError::Mismatch(format!("{}: {e}", record.name)))?;
+        store.set_value(id, t);
+    }
+    Ok(())
+}
+
+/// Writes the store to a file.
+pub fn save_file(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    fs::write(path, to_json(store))?;
+    Ok(())
+}
+
+/// Loads a file into the store.
+pub fn load_file(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let json = fs::read_to_string(path)?;
+    load_json(store, &json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let mut store = ParamStore::new();
+        let a = store.register("layer.w", Tensor::from_vec(vec![1.5, -2.5], &[2]).unwrap());
+        let b = store.register("layer.b", Tensor::scalar(0.25));
+        let json = to_json(&store);
+
+        let mut store2 = ParamStore::new();
+        let a2 = store2.register("layer.w", Tensor::zeros(&[2]));
+        let b2 = store2.register("layer.b", Tensor::zeros(&[1]));
+        load_json(&mut store2, &json).unwrap();
+        assert_eq!(store2.value(a2).data(), store.value(a).data());
+        assert_eq!(store2.value(b2).data(), store.value(b).data());
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::zeros(&[2]));
+        let json = to_json(&store);
+        let mut store2 = ParamStore::new();
+        store2.register("w", Tensor::zeros(&[3]));
+        assert!(matches!(
+            load_json(&mut store2, &json),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_params_in_file_are_ignored() {
+        let mut store = ParamStore::new();
+        store.register("old", Tensor::scalar(1.0));
+        let json = to_json(&store);
+        let mut store2 = ParamStore::new();
+        let n = store2.register("new", Tensor::scalar(7.0));
+        load_json(&mut store2, &json).unwrap();
+        assert_eq!(store2.value(n).data(), &[7.0]);
+    }
+
+    #[test]
+    fn garbage_json_is_a_parse_error() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::scalar(0.0));
+        assert!(matches!(
+            load_json(&mut store, "not json"),
+            Err(CheckpointError::Parse(_))
+        ));
+    }
+}

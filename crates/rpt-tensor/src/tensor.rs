@@ -1,0 +1,450 @@
+//! The [`Tensor`] type: an immutable, reference-counted, row-major `f32`
+//! n-dimensional array, plus the raw (non-differentiable) kernels the tape
+//! ops are built from.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Error raised by fallible tensor constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The data length does not match the product of the shape dimensions.
+    ShapeMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, got } => {
+                write!(f, "shape requires {expected} elements but data has {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// An immutable, row-major, reference-counted `f32` tensor.
+///
+/// Cloning is O(1). All shape-changing operations produce new tensors;
+/// in-place mutation is only available through [`Tensor::map_inplace`] /
+/// [`Tensor::data_mut`], which copy-on-write when the buffer is shared.
+#[derive(Clone)]
+pub struct Tensor {
+    data: Arc<Vec<f32>>,
+    shape: Vec<usize>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        write!(
+            f,
+            "Tensor(shape={:?}, data[..{}]={:?}{})",
+            self.shape,
+            preview.len(),
+            preview,
+            if self.numel() > 8 { ", …" } else { "" }
+        )
+    }
+}
+
+impl Tensor {
+    /// Builds a tensor from a flat row-major buffer.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if expected != data.len() {
+            return Err(TensorError::ShapeMismatch {
+                expected,
+                got: data.len(),
+            });
+        }
+        Ok(Self {
+            data: Arc::new(data),
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// A scalar (0-d is represented as shape `[1]`).
+    pub fn scalar(v: f32) -> Self {
+        Self::from_vec(vec![v], &[1]).expect("scalar shape")
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        Self {
+            data: Arc::new(vec![0.0; n]),
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: &[usize], v: f32) -> Self {
+        let n: usize = shape.iter().product();
+        Self {
+            data: Arc::new(vec![v; n]),
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// The shape as a slice of dimension sizes.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Read-only view of the flat row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the buffer (copy-on-write if shared).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// Returns a tensor with the same buffer but a different shape.
+    ///
+    /// # Panics
+    /// If the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(
+            expected,
+            self.numel(),
+            "reshape {:?} -> {:?}: element count mismatch",
+            self.shape,
+            shape
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        let data: Vec<f32> = self.data.iter().map(|&x| f(x)).collect();
+        Self {
+            data: Arc::new(data),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` elementwise in place (copy-on-write if shared).
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in Arc::make_mut(&mut self.data).iter_mut() {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise binary zip; shapes must match exactly.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(
+            self.shape, other.shape,
+            "zip requires identical shapes: {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        let data: Vec<f32> = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Self {
+            data: Arc::new(data),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// In-place accumulation `self += other` (shapes must match).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            self.shape, other.shape,
+            "add_assign requires identical shapes: {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        let dst = Arc::make_mut(&mut self.data);
+        for (d, s) in dst.iter_mut().zip(other.data.iter()) {
+            *d += *s;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum absolute value (0.0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Squared L2 norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Matrix product of 2-d tensors: `[m,k] x [k,n] -> [m,n]`.
+    ///
+    /// Uses an ikj loop order (row-major friendly) which is adequate for the
+    /// small matrices this library targets.
+    pub fn matmul2d(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul2d lhs must be 2-d, got {:?}", self.shape);
+        assert_eq!(other.ndim(), 2, "matmul2d rhs must be 2-d, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul2d inner dims differ: {:?} x {:?}", self.shape, other.shape);
+        let mut out = vec![0.0f32; m * n];
+        matmul_kernel(&self.data, &other.data, &mut out, m, k, n);
+        Tensor {
+            data: Arc::new(out),
+            shape: vec![m, n],
+        }
+    }
+
+    /// Batched matrix product of 3-d tensors: `[b,m,k] x [b,k,n] -> [b,m,n]`.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 3, "bmm lhs must be 3-d, got {:?}", self.shape);
+        assert_eq!(other.ndim(), 3, "bmm rhs must be 3-d, got {:?}", other.shape);
+        let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(b, b2, "bmm batch dims differ: {:?} x {:?}", self.shape, other.shape);
+        assert_eq!(k, k2, "bmm inner dims differ: {:?} x {:?}", self.shape, other.shape);
+        let mut out = vec![0.0f32; b * m * n];
+        for i in 0..b {
+            matmul_kernel(
+                &self.data[i * m * k..(i + 1) * m * k],
+                &other.data[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        Tensor {
+            data: Arc::new(out),
+            shape: vec![b, m, n],
+        }
+    }
+
+    /// Transposes the last two dimensions (2-d or 3-d), materializing the
+    /// result (all tensors in this library stay contiguous).
+    pub fn transpose_last(&self) -> Tensor {
+        match self.ndim() {
+            2 => {
+                let (m, n) = (self.shape[0], self.shape[1]);
+                let mut out = vec![0.0f32; m * n];
+                for i in 0..m {
+                    for j in 0..n {
+                        out[j * m + i] = self.data[i * n + j];
+                    }
+                }
+                Tensor {
+                    data: Arc::new(out),
+                    shape: vec![n, m],
+                }
+            }
+            3 => {
+                let (b, m, n) = (self.shape[0], self.shape[1], self.shape[2]);
+                let mut out = vec![0.0f32; b * m * n];
+                for bi in 0..b {
+                    let src = &self.data[bi * m * n..(bi + 1) * m * n];
+                    let dst = &mut out[bi * m * n..(bi + 1) * m * n];
+                    for i in 0..m {
+                        for j in 0..n {
+                            dst[j * m + i] = src[i * n + j];
+                        }
+                    }
+                }
+                Tensor {
+                    data: Arc::new(out),
+                    shape: vec![b, n, m],
+                }
+            }
+            d => panic!("transpose_last supports 2-d / 3-d tensors, got {d}-d"),
+        }
+    }
+
+    /// Softmax over the last dimension (numerically stabilized).
+    pub fn softmax_last(&self) -> Tensor {
+        let last = *self.shape.last().expect("softmax of 0-d tensor");
+        let mut out = self.data.as_ref().clone();
+        for row in out.chunks_mut(last) {
+            softmax_row(row);
+        }
+        Tensor {
+            data: Arc::new(out),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Gathers rows of a `[v, d]` matrix by index, producing `[ids.len(), d]`.
+    pub fn gather_rows(&self, ids: &[usize]) -> Tensor {
+        assert_eq!(self.ndim(), 2, "gather_rows source must be 2-d");
+        let d = self.shape[1];
+        let mut out = Vec::with_capacity(ids.len() * d);
+        for &i in ids {
+            assert!(i < self.shape[0], "gather_rows index {i} out of {}", self.shape[0]);
+            out.extend_from_slice(&self.data[i * d..(i + 1) * d]);
+        }
+        Tensor {
+            data: Arc::new(out),
+            shape: vec![ids.len(), d],
+        }
+    }
+}
+
+/// Stable in-place softmax of a single row.
+pub(crate) fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let mut sum = 0.0f32;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum;
+    for x in row.iter_mut() {
+        *x *= inv;
+    }
+}
+
+/// Row-major matmul kernel `out[m,n] += a[m,k] * b[k,n]` (out must be zeroed).
+/// ikj order keeps the inner loop streaming over contiguous memory.
+pub(crate) fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_shape() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.numel(), 4);
+    }
+
+    #[test]
+    fn clone_is_shallow_and_mutation_cows() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let mut b = a.clone();
+        b.data_mut()[0] = 9.0;
+        assert_eq!(a.data(), &[1.0, 2.0]);
+        assert_eq!(b.data(), &[9.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul2d_matches_hand_computation() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul2d(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn bmm_applies_per_batch() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], &[2, 2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0], &[2, 2, 2]).unwrap();
+        let c = a.bmm(&b);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn transpose_last_2d_and_3d() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let t = a.transpose_last();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+
+        let b = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[2, 2, 3]).unwrap();
+        let bt = b.transpose_last();
+        assert_eq!(bt.shape(), &[2, 3, 2]);
+        assert_eq!(bt.data()[..6], [0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let s = a.softmax_last();
+        for row in s.data().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // softmax is shift-invariant: both rows differ by a constant shift.
+        for j in 0..3 {
+            assert!((s.data()[j] - s.data()[3 + j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let a = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]).unwrap();
+        let s = a.softmax_last();
+        assert!(!s.has_non_finite());
+        assert!((s.data()[0] + s.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_rows_selects_embedding_rows() {
+        let w = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0], &[3, 2]).unwrap();
+        let g = w.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.shape(), &[3, 2]);
+        assert_eq!(g.data(), &[2.0, 2.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul2d(&b);
+    }
+}

@@ -1,0 +1,17 @@
+//! # RPT — Relational Pre-trained Transformer
+//!
+//! Facade crate re-exporting the public API of the RPT reproduction:
+//! pretrained-transformer architectures for data preparation —
+//! data cleaning (RPT-C), entity resolution (RPT-E), and information
+//! extraction (RPT-I) — together with the substrates they are built on.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! paper-to-module map.
+
+pub use rpt_baselines as baselines;
+pub use rpt_core as core;
+pub use rpt_datagen as datagen;
+pub use rpt_nn as nn;
+pub use rpt_table as table;
+pub use rpt_tensor as tensor;
+pub use rpt_tokenizer as tokenizer;

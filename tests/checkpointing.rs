@@ -1,0 +1,69 @@
+//! Model persistence: save a trained model, load into a fresh instance,
+//! get byte-identical predictions — the "plug and play tool" property of
+//! §2.2 research opportunity O3.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rpt::core::cleaning::{CleaningConfig, Filler, RptC};
+use rpt::core::train::TrainOpts;
+use rpt::core::vocabulary::build_vocab;
+use rpt::datagen::standard_benchmarks;
+use rpt::table::Table;
+use rpt::tensor::serialize::{load_json, to_json};
+
+#[test]
+fn trained_rpt_c_roundtrips_through_json() {
+    let mut rng = SmallRng::seed_from_u64(6);
+    let (_u, benches) = standard_benchmarks(20, &mut rng);
+    let tables: Vec<&Table> = vec![&benches[0].table_a, &benches[0].table_b];
+    let vocab = build_vocab(&tables, &[], 1, 4000);
+    let mut cfg = CleaningConfig::tiny();
+    cfg.train = TrainOpts {
+        steps: 60,
+        batch_size: 8,
+        warmup: 10,
+        peak_lr: 3e-3,
+        ..Default::default()
+    };
+    let mut model = RptC::new(vocab.clone(), cfg.clone());
+    model.pretrain(&tables);
+
+    let json = to_json(&model.params);
+    assert!(json.len() > 1000, "checkpoint suspiciously small");
+
+    let mut fresh = RptC::new(vocab, cfg);
+    load_json(&mut fresh.params, &json).expect("load checkpoint");
+
+    let schema = benches[0].table_a.schema();
+    for row in 0..5 {
+        let tuple = benches[0].table_a.row(row);
+        let a = model.fill(schema, tuple, 1);
+        let b = fresh.fill(schema, tuple, 1);
+        assert_eq!(a.tokens, b.tokens, "row {row}: loaded model diverges");
+        assert_eq!(a.text, b.text);
+    }
+}
+
+#[test]
+fn checkpoint_into_differently_seeded_model_still_matches() {
+    // seeds affect init; loading must fully overwrite it
+    let mut rng = SmallRng::seed_from_u64(7);
+    let (_u, benches) = standard_benchmarks(15, &mut rng);
+    let tables: Vec<&Table> = vec![&benches[1].table_a];
+    let vocab = build_vocab(&tables, &[], 1, 3000);
+    let mut cfg = CleaningConfig::tiny();
+    cfg.train.steps = 40;
+    let mut model = RptC::new(vocab.clone(), cfg.clone());
+    model.pretrain(&tables);
+    let json = to_json(&model.params);
+
+    cfg.seed = 999; // different init
+    let mut fresh = RptC::new(vocab, cfg);
+    load_json(&mut fresh.params, &json).expect("load checkpoint");
+    let schema = benches[1].table_a.schema();
+    let tuple = benches[1].table_a.row(0);
+    assert_eq!(
+        model.fill(schema, tuple, 1).tokens,
+        fresh.fill(schema, tuple, 1).tokens
+    );
+}

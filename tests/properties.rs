@@ -1,0 +1,167 @@
+//! Property-based tests over the cross-crate invariants.
+
+use proptest::prelude::*;
+use rpt::core::er::transitive_closure;
+use rpt::nn::metrics::{numeric_closeness, token_f1, BinaryConfusion};
+use rpt::table::{csv, Schema, Table, Value};
+use rpt::tokenizer::{normalize, EncoderOptions, TupleEncoder, Vocab, VocabBuilder};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        "[a-z0-9 .]{0,12}".prop_map(|s| Value::parse(&s)),
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        (-1.0e6f64..1.0e6).prop_map(Value::Float),
+    ]
+}
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (1usize..5)
+        .prop_flat_map(|arity| {
+            let schema: Vec<String> = (0..arity).map(|i| format!("col{i}")).collect();
+            (
+                Just(schema),
+                proptest::collection::vec(
+                    proptest::collection::vec(arb_value(), arity),
+                    0..12,
+                ),
+            )
+        })
+        .prop_map(|(names, rows)| {
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let mut t = Table::new("prop", Schema::text_columns(&refs));
+            for row in rows {
+                t.push_values(row);
+            }
+            t
+        })
+}
+
+fn vocab_for(table: &Table) -> Vocab {
+    let mut b = VocabBuilder::new();
+    for name in table.schema().names() {
+        b.add_text(name);
+    }
+    for tuple in table.tuples() {
+        for v in tuple.values() {
+            b.add_text(&v.render());
+        }
+    }
+    b.build(1, 10_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSV write → read preserves every value (up to the Value::parse
+    /// canonicalization already applied when the table was built).
+    #[test]
+    fn csv_roundtrip(table in arb_table()) {
+        let text = csv::write_table(&table);
+        let back = csv::read_table("back", &text).unwrap();
+        prop_assert_eq!(back.len(), table.len());
+        for (a, b) in table.tuples().iter().zip(back.tuples().iter()) {
+            for (va, vb) in a.values().iter().zip(b.values().iter()) {
+                // rendering is the canonical comparison: Null -> "" -> Null,
+                // numerics reparse to the same rendering
+                prop_assert_eq!(va.render(), vb.render());
+            }
+        }
+    }
+
+    /// Serialization invariants: ids/cols stay aligned; every value span
+    /// indexes real positions; masking a span shortens the sequence by
+    /// span_len - 1 and the target matches the original tokens.
+    #[test]
+    fn tuple_encoding_invariants(table in arb_table()) {
+        let vocab = vocab_for(&table);
+        let enc = TupleEncoder::new(vocab, EncoderOptions::default());
+        for tuple in table.tuples() {
+            let e = enc.encode_tuple(table.schema(), tuple);
+            prop_assert_eq!(e.ids.len(), e.cols.len());
+            for (col, range) in &e.value_spans {
+                prop_assert!(range.end <= e.ids.len());
+                prop_assert!(range.start < range.end);
+                for p in range.clone() {
+                    prop_assert_eq!(e.cols[p], col + 1);
+                }
+            }
+            if !e.value_spans.is_empty() {
+                let (masked, target) = e.mask_value_span(0);
+                let span_len = e.value_spans[0].1.len();
+                prop_assert_eq!(masked.ids.len(), e.ids.len() - span_len + 1);
+                prop_assert_eq!(target.len(), span_len);
+                prop_assert_eq!(&e.ids[e.value_spans[0].1.clone()], target.as_slice());
+            }
+        }
+    }
+
+    /// normalize is idempotent: normalizing the joined output changes
+    /// nothing.
+    #[test]
+    fn normalize_idempotent(s in "\\PC{0,40}") {
+        let once = normalize(&s);
+        let twice = normalize(&once.join(" "));
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Union-find invariants: edges connect, assignment partitions.
+    #[test]
+    fn transitive_closure_partitions(
+        n in 1usize..40,
+        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..60)
+    ) {
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n, b % n))
+            .collect();
+        let c = transitive_closure(n, &edges);
+        prop_assert_eq!(c.assignment.len(), n);
+        let total: usize = c.members.iter().map(|m| m.len()).sum();
+        prop_assert_eq!(total, n);
+        for &(a, b) in &edges {
+            prop_assert_eq!(c.assignment[a], c.assignment[b]);
+        }
+        for (node, &cid) in c.assignment.iter().enumerate() {
+            prop_assert!(c.members[cid].contains(&node));
+        }
+    }
+
+    /// token_f1 is symmetric, bounded, and 1 exactly on multiset equality.
+    #[test]
+    fn token_f1_properties(
+        a in proptest::collection::vec(0usize..6, 0..8),
+        b in proptest::collection::vec(0usize..6, 0..8)
+    ) {
+        let f_ab = token_f1(&a, &b);
+        let f_ba = token_f1(&b, &a);
+        prop_assert!((f_ab - f_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&f_ab));
+        let mut sa = a.clone();
+        let mut sb = b.clone();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        if sa == sb {
+            prop_assert!((f_ab - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// numeric_closeness is symmetric and bounded.
+    #[test]
+    fn numeric_closeness_properties(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let c = numeric_closeness(a, b);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!((c - numeric_closeness(b, a)).abs() < 1e-9);
+        prop_assert!((numeric_closeness(a, a) - 1.0).abs() < 1e-12);
+    }
+
+    /// Confusion counts always reconcile with precision/recall bounds.
+    #[test]
+    fn confusion_bounds(pairs in proptest::collection::vec((any::<bool>(), any::<bool>()), 0..50)) {
+        let c = BinaryConfusion::from_pairs(pairs.iter().copied());
+        prop_assert_eq!(c.tp + c.fp + c.fn_ + c.tn, pairs.len());
+        prop_assert!((0.0..=1.0).contains(&c.precision()));
+        prop_assert!((0.0..=1.0).contains(&c.recall()));
+        prop_assert!((0.0..=1.0).contains(&c.f1()));
+    }
+}
