@@ -4,8 +4,8 @@
 //! At evaluation time it receives the same masked tuple serialization as
 //! RPT-C; the format mismatch is the point of the comparison.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rpt_rng::SmallRng;
+use rpt_rng::{Rng, SeedableRng};
 use rpt_core::cleaning::{CleaningConfig, FillResult, Filler, RptC};
 use rpt_core::train::Trainer;
 use rpt_nn::Sequence;
@@ -93,7 +93,7 @@ impl Filler for BartText {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
+    use rpt_rng::SmallRng;
     use rpt_core::vocabulary::build_vocab;
 
     fn corpus() -> Vec<String> {

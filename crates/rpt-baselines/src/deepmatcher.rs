@@ -4,9 +4,9 @@
 //! paper's Table 2 contrasts RPT-E against (RPT-E never sees target
 //! labels).
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SliceRandom;
+use rpt_rng::SeedableRng;
 use rpt_datagen::{ErBenchmark, PairSet};
 use rpt_tensor::{clip_global_norm, init, Adam, AdamConfig, ParamStore, Tape, Tensor};
 

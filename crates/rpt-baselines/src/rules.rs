@@ -45,8 +45,8 @@ impl PairScorer for JaccardMatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rpt_rng::SmallRng;
+    use rpt_rng::SeedableRng;
     use rpt_datagen::standard_benchmarks;
 
     #[test]

@@ -1,78 +1,127 @@
-//! Criterion microbenchmarks for the substrate layers: tensor kernels,
-//! attention forward/backward, tuple tokenization, blocking, the ZeroER
-//! EM step, and FD profiling. These track the cost of the pieces the
-//! experiment binaries are built from.
+//! Microbenchmarks for the substrate layers: tensor kernels, attention
+//! forward/backward, tuple tokenization, blocking, the ZeroER EM step,
+//! and FD profiling. These track the cost of the pieces the experiment
+//! binaries are built from.
+//!
+//! The harness is std-only (`harness = false`; no criterion so the
+//! workspace stays dependency-free): each benchmark warms up for ~0.5 s,
+//! then runs 20 timed samples and reports the median, min, and max
+//! per-iteration time. Run with `cargo bench --offline`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
 use rpt_baselines::ZeroEr;
 use rpt_core::er::Blocker;
 use rpt_datagen::standard_benchmarks;
 use rpt_nn::{Ctx, MultiHeadAttention, Sequence, TokenBatch};
+use rpt_rng::{SeedableRng, SmallRng};
 use rpt_table::TableProfile;
 use rpt_tensor::{init, ParamStore, Tape, Tensor};
 use rpt_tokenizer::{EncoderOptions, TupleEncoder, VocabBuilder};
 
-fn bench_matmul(c: &mut Criterion) {
+/// Mirrors the old criterion config: 20 samples, ~2 s measurement,
+/// ~500 ms warm-up.
+const SAMPLES: usize = 20;
+const MEASURE: Duration = Duration::from_secs(2);
+const WARM_UP: Duration = Duration::from_millis(500);
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Times `f`, printing criterion-style name + median [min .. max] stats.
+fn bench_function(name: &str, mut f: impl FnMut()) {
+    // warm-up, and estimate how many iterations fill a sample
+    let warm_start = Instant::now();
+    let mut iters_done = 0u64;
+    while warm_start.elapsed() < WARM_UP {
+        f();
+        iters_done += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+    let per_sample = MEASURE.as_secs_f64() / SAMPLES as f64;
+    let iters = ((per_sample / per_iter).ceil() as u64).max(1);
+
+    let mut samples: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed() / iters as u32
+        })
+        .collect();
+    samples.sort_unstable();
+    println!(
+        "{name:<34} {:>12} [{} .. {}]  ({iters} iters/sample)",
+        human(samples[SAMPLES / 2]),
+        human(samples[0]),
+        human(samples[SAMPLES - 1]),
+    );
+}
+
+fn bench_matmul() {
     let mut rng = SmallRng::seed_from_u64(1);
     let a = init::normal(&[64, 64], 1.0, &mut rng);
     let b = init::normal(&[64, 64], 1.0, &mut rng);
-    c.bench_function("tensor/matmul_64x64", |bench| {
-        bench.iter(|| std::hint::black_box(a.matmul2d(&b)))
+    bench_function("tensor/matmul_64x64", || {
+        std::hint::black_box(a.matmul2d(&b));
     });
     let a3 = init::normal(&[16, 32, 32], 1.0, &mut rng);
     let b3 = init::normal(&[16, 32, 32], 1.0, &mut rng);
-    c.bench_function("tensor/bmm_16x32x32", |bench| {
-        bench.iter(|| std::hint::black_box(a3.bmm(&b3)))
+    bench_function("tensor/bmm_16x32x32", || {
+        std::hint::black_box(a3.bmm(&b3));
     });
 }
 
-fn bench_softmax_layernorm(c: &mut Criterion) {
+fn bench_softmax_layernorm() {
     let mut rng = SmallRng::seed_from_u64(2);
     let x = init::normal(&[64, 64], 1.0, &mut rng);
-    c.bench_function("tensor/softmax_64x64", |bench| {
-        bench.iter(|| std::hint::black_box(x.softmax_last()))
+    bench_function("tensor/softmax_64x64", || {
+        std::hint::black_box(x.softmax_last());
     });
-    c.bench_function("tape/layer_norm_fwd_bwd", |bench| {
-        bench.iter(|| {
-            let tape = Tape::new();
-            let v = tape.leaf(x.clone());
-            let n = tape.layer_norm(v, 1e-5);
-            let loss = tape.sum_all(tape.mul(n, n));
-            std::hint::black_box(tape.backward(loss));
-        })
+    bench_function("tape/layer_norm_fwd_bwd", || {
+        let tape = Tape::new();
+        let v = tape.leaf(x.clone());
+        let n = tape.layer_norm(v, 1e-5);
+        let loss = tape.sum_all(tape.mul(n, n));
+        std::hint::black_box(tape.backward(loss));
     });
 }
 
-fn bench_attention(c: &mut Criterion) {
+fn bench_attention() {
     let mut rng = SmallRng::seed_from_u64(3);
     let mut params = ParamStore::new();
     let mha = MultiHeadAttention::new(&mut params, "mha", 64, 4, 0.0, &mut rng);
     let x = init::normal(&[4, 32, 64], 1.0, &mut rng);
-    c.bench_function("nn/attention_fwd_b4_t32_d64", |bench| {
-        bench.iter(|| {
-            let tape = Tape::new();
-            let mut r = SmallRng::seed_from_u64(0);
-            let mut ctx = Ctx::new(&tape, &mut params, &mut r, false);
-            let v = tape.leaf(x.clone());
-            std::hint::black_box(tape.value(mha.forward(&mut ctx, v, v, None)));
-        })
+    bench_function("nn/attention_fwd_b4_t32_d64", || {
+        let tape = Tape::new();
+        let mut r = SmallRng::seed_from_u64(0);
+        let mut ctx = Ctx::new(&tape, &mut params, &mut r, false);
+        let v = tape.leaf(x.clone());
+        std::hint::black_box(tape.value(mha.forward(&mut ctx, v, v, None)));
     });
-    c.bench_function("nn/attention_fwd_bwd_b4_t32_d64", |bench| {
-        bench.iter(|| {
-            let tape = Tape::new();
-            let mut r = SmallRng::seed_from_u64(0);
-            let mut ctx = Ctx::new(&tape, &mut params, &mut r, true);
-            let v = tape.leaf(x.clone());
-            let out = mha.forward(&mut ctx, v, v, None);
-            let loss = tape.sum_all(out);
-            std::hint::black_box(tape.backward(loss));
-        })
+    bench_function("nn/attention_fwd_bwd_b4_t32_d64", || {
+        let tape = Tape::new();
+        let mut r = SmallRng::seed_from_u64(0);
+        let mut ctx = Ctx::new(&tape, &mut params, &mut r, true);
+        let v = tape.leaf(x.clone());
+        let out = mha.forward(&mut ctx, v, v, None);
+        let loss = tape.sum_all(out);
+        std::hint::black_box(tape.backward(loss));
     });
 }
 
-fn bench_tokenizer(c: &mut Criterion) {
+fn bench_tokenizer() {
     let mut rng = SmallRng::seed_from_u64(4);
     let (_, benches) = standard_benchmarks(50, &mut rng);
     let table = &benches[0].table_a;
@@ -84,78 +133,80 @@ fn bench_tokenizer(c: &mut Criterion) {
     }
     let vocab = vb.build(1, 5000);
     let enc = TupleEncoder::new(vocab, EncoderOptions::default());
-    c.bench_function("tokenizer/encode_tuple", |bench| {
-        let mut i = 0;
-        bench.iter(|| {
-            let t = table.row(i % table.len());
-            i += 1;
-            std::hint::black_box(enc.encode_tuple(table.schema(), t))
-        })
+    let mut i = 0;
+    bench_function("tokenizer/encode_tuple", || {
+        let t = table.row(i % table.len());
+        i += 1;
+        std::hint::black_box(enc.encode_tuple(table.schema(), t));
     });
-    c.bench_function("tokenizer/encode_pair", |bench| {
-        let mut i = 0;
-        bench.iter(|| {
-            let a = table.row(i % table.len());
-            let b = table.row((i * 7 + 3) % table.len());
-            i += 1;
-            std::hint::black_box(enc.encode_pair(table.schema(), a, table.schema(), b))
-        })
+    let mut i = 0;
+    bench_function("tokenizer/encode_pair", || {
+        let a = table.row(i % table.len());
+        let b = table.row((i * 7 + 3) % table.len());
+        i += 1;
+        std::hint::black_box(enc.encode_pair(table.schema(), a, table.schema(), b));
     });
 }
 
-fn bench_blocking_and_em(c: &mut Criterion) {
+fn bench_blocking_and_em() {
     let mut rng = SmallRng::seed_from_u64(5);
     let (_, benches) = standard_benchmarks(80, &mut rng);
     let bench0 = benches[0].clone();
-    c.bench_function("er/blocking_80x~90", |bench| {
+    {
         let blocker = Blocker::default();
-        bench.iter(|| std::hint::black_box(blocker.candidates(&bench0.table_a, &bench0.table_b)))
-    });
+        bench_function("er/blocking_80x~90", || {
+            std::hint::black_box(blocker.candidates(&bench0.table_a, &bench0.table_b));
+        });
+    }
     let blocker = Blocker::default();
     let candidates = blocker.candidates(&bench0.table_a, &bench0.table_b);
-    c.bench_function("baselines/zeroer_em_fit", |bench| {
-        bench.iter(|| {
-            let mut z = ZeroEr::with(10, None);
-            std::hint::black_box(z.fit_predict(&bench0, &candidates))
-        })
+    bench_function("baselines/zeroer_em_fit", || {
+        let mut z = ZeroEr::with(10, None);
+        std::hint::black_box(z.fit_predict(&bench0, &candidates));
     });
 }
 
-fn bench_profiling(c: &mut Criterion) {
+fn bench_profiling() {
     let mut rng = SmallRng::seed_from_u64(6);
     let (_, benches) = standard_benchmarks(100, &mut rng);
     let table = benches[2].table_a.clone();
-    c.bench_function("table/fd_profile_100x5", |bench| {
-        bench.iter(|| std::hint::black_box(TableProfile::compute(&table, 0.8, 3)))
+    bench_function("table/fd_profile_100x5", || {
+        std::hint::black_box(TableProfile::compute(&table, 0.8, 3));
     });
 }
 
-fn bench_batching(c: &mut Criterion) {
+fn bench_batching() {
     let seqs: Vec<Sequence> = (0..16)
         .map(|i| Sequence::from_ids((0..(20 + i % 10)).collect()))
         .collect();
-    c.bench_function("nn/token_batch_and_masks", |bench| {
-        bench.iter(|| {
-            let b = TokenBatch::from_sequences(&seqs, 64, 0);
-            let m = b.self_attn_mask(4);
-            std::hint::black_box((b, m))
-        })
+    bench_function("nn/token_batch_and_masks", || {
+        let b = TokenBatch::from_sequences(&seqs, 64, 0);
+        let m = b.self_attn_mask(4);
+        std::hint::black_box((b, m));
     });
     let x = Tensor::zeros(&[1024]);
-    c.bench_function("tensor/clone_is_cheap", |bench| {
-        bench.iter(|| std::hint::black_box(x.clone()))
+    bench_function("tensor/clone_is_cheap", || {
+        std::hint::black_box(x.clone());
     });
 }
 
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul,
-        bench_softmax_layernorm,
-        bench_attention,
-        bench_tokenizer,
-        bench_blocking_and_em,
-        bench_profiling,
-        bench_batching
-);
-criterion_main!(micro);
+fn main() {
+    // `cargo bench -- <filter>` runs only groups whose name matches
+    // (flags cargo injects, like `--bench`, are skipped)
+    let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    let groups: [(&str, fn()); 7] = [
+        ("matmul", bench_matmul),
+        ("softmax_layernorm", bench_softmax_layernorm),
+        ("attention", bench_attention),
+        ("tokenizer", bench_tokenizer),
+        ("blocking_and_em", bench_blocking_and_em),
+        ("profiling", bench_profiling),
+        ("batching", bench_batching),
+    ];
+    println!("micro benchmarks: {SAMPLES} samples, ~2s measurement, 500ms warm-up\n");
+    for (name, run) in groups {
+        if filter.as_deref().map_or(true, |f| name.contains(f)) {
+            run();
+        }
+    }
+}

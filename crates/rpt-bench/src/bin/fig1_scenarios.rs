@@ -10,8 +10,8 @@
 //! * (c) information extraction: interpret a one-shot example and extract
 //!   the analogous span from a new description.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SeedableRng;
 use rpt_bench::{write_artifact, Workbench};
 use rpt_core::cleaning::{CleaningConfig, Filler, MaskPolicy, RptC};
 use rpt_core::er::{infer_match_patterns, Matcher, MatcherConfig};
@@ -26,7 +26,7 @@ fn main() {
     println!("== Figure 1: motivating scenarios ==\n");
     let w = Workbench::new(80, 21);
     let mut rng = SmallRng::seed_from_u64(77);
-    let mut artifact = serde_json::Map::new();
+    let mut artifact = rpt_json::Map::new();
 
     // ---------------- (a) data cleaning -------------------------------
     println!("-- (a) data cleaning: repair and auto-completion --");
@@ -56,7 +56,7 @@ fn main() {
         let tuple = Tuple::new(vec![Value::text(title), Value::Null, Value::Null]);
         let fill = rptc.fill(&schema, &tuple, 1);
         println!("  Q: [{title}] manufacturer = [M]   →  A: {}", fill.text);
-        dc_results.push(serde_json::json!({"query": title, "column": "manufacturer", "answer": fill.text}));
+        dc_results.push(rpt_json::json!({"query": title, "column": "manufacturer", "answer": fill.text}));
     }
     // Q3 analogue: auto-completion of a price from everything else.
     let tuple = Tuple::new(vec![
@@ -66,8 +66,8 @@ fn main() {
     ]);
     let fill = rptc.fill(&schema, &tuple, 2);
     println!("  Q: [thinkpad 9 …, lenovo] price = [M]   →  A: {}", fill.text);
-    dc_results.push(serde_json::json!({"query": "thinkpad 9 512gb", "column": "price", "answer": fill.text}));
-    artifact.insert("data_cleaning".into(), serde_json::Value::Array(dc_results));
+    dc_results.push(rpt_json::json!({"query": "thinkpad 9 512gb", "column": "price", "answer": fill.text}));
+    artifact.insert("data_cleaning".into(), rpt_json::Json::Array(dc_results));
 
     // ---------------- (b) entity resolution ---------------------------
     println!("\n-- (b) entity resolution: the iPhone-X example --");
@@ -135,7 +135,7 @@ fn main() {
         };
         let score = matcher.score_pairs(&bench, &[(0, 0)])[0];
         println!("  {name}: P(match) = {score:.2}");
-        er_results.push(serde_json::json!({"pair": name, "p_match": score}));
+        er_results.push(rpt_json::json!({"pair": name, "p_match": score}));
     }
     // PET pattern inference from the two examples of Fig. 5 / E1
     let patterns = infer_match_patterns(
@@ -157,7 +157,7 @@ fn main() {
         "  PET interpretation: must match {:?}; irrelevant {:?}",
         patterns.must_match, patterns.irrelevant
     );
-    artifact.insert("entity_resolution".into(), serde_json::Value::Array(er_results));
+    artifact.insert("entity_resolution".into(), rpt_json::Json::Array(er_results));
 
     // ---------------- (c) information extraction ----------------------
     println!("\n-- (c) information extraction: one-shot task interpretation --");
@@ -195,13 +195,13 @@ fn main() {
     println!("  t1: {:?}\n  → extracted: {answer:?} (gold {:?})", t1.description, t1.answer);
     artifact.insert(
         "information_extraction".into(),
-        serde_json::json!({
-            "example": {"description": example.description, "label": example.answer},
+        rpt_json::json!({
+            "example": {"description": &example.description, "label": &example.answer},
             "inferred_question": inferred.map(question_for),
-            "task": {"description": t1.description, "gold": t1.answer, "extracted": answer},
+            "task": {"description": &t1.description, "gold": &t1.answer, "extracted": answer},
         }),
     );
 
-    write_artifact("fig1_scenarios", &serde_json::Value::Object(artifact));
+    write_artifact("fig1_scenarios", &rpt_json::Json::Object(artifact));
     println!("\ntotal {:.0?}", t0.elapsed());
 }

@@ -6,9 +6,9 @@
 //! Expected shape: recovery degrades gracefully as corruption grows, and
 //! stays clearly above the unigram-guess floor at every rate.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SliceRandom;
+use rpt_rng::SeedableRng;
 use rpt_bench::{f2, write_artifact, Workbench};
 use rpt_core::cleaning::{CleaningConfig, MaskPolicy, RptC};
 use rpt_core::train::TrainOpts;
@@ -77,12 +77,12 @@ fn main() {
             exact.add(if pred == targets { 1.0 } else { 0.0 });
         }
         println!("{:>10} {:>12} {:>14}", rate, f2(f1.get()), f2(exact.get()));
-        series.push(serde_json::json!({"mask_rate": rate, "token_f1": f1.get(), "exact": exact.get(), "n": f1.count()}));
+        series.push(rpt_json::json!({"mask_rate": rate, "token_f1": f1.get(), "exact": exact.get(), "n": f1.count()}));
     }
 
     write_artifact(
         "fig3_denoising",
-        &serde_json::json!({
+        &rpt_json::json!({
             "experiment": "fig3_denoising",
             "series": series,
             "elapsed_sec": t0.elapsed().as_secs_f64(),

@@ -80,7 +80,7 @@ fn main() {
             f2(price.token_f1),
             if price.numeric.is_nan() { "-".into() } else { f2(price.numeric) },
         );
-        rows.push(serde_json::json!({
+        rows.push(rpt_json::json!({
             "variant": name,
             "manufacturer": {"exact": maker.exact, "token_f1": maker.token_f1},
             "price": {"exact": price.exact, "token_f1": price.token_f1,
@@ -90,7 +90,7 @@ fn main() {
 
     write_artifact(
         "fig4_ablation",
-        &serde_json::json!({
+        &rpt_json::json!({
             "experiment": "fig4_ablation",
             "rows": rows,
             "elapsed_sec": t0.elapsed().as_secs_f64(),

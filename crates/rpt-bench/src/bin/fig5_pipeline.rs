@@ -4,8 +4,8 @@
 //! consolidation with a learned preference (E3), and the few-shot
 //! threshold-calibration curve (E1 / opportunity O2).
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SeedableRng;
 use rpt_bench::{f2, write_artifact, Workbench};
 use rpt_core::er::{
     calibrate_threshold_f1, Blocker, Consolidator, ErPipeline, Matcher, MatcherConfig,
@@ -61,7 +61,7 @@ fn main() {
     let cand_scores = matcher.score_pairs(bench, &candidates);
     // the user's labeled pool: a third known matches, the rest random
     // blocked candidates
-    use rand::seq::SliceRandom;
+    use rpt_rng::SliceRandom;
     let mut pos_pool = bench.all_matches();
     pos_pool.shuffle(&mut rng);
     let mut rand_pool = candidates.clone();
@@ -85,7 +85,7 @@ fn main() {
                 .zip(cand_labels.iter().copied()),
         );
         println!("{:>4} {:>10} {:>8}", k, format!("{threshold:.2}"), f2(conf.f1()));
-        curve.push(serde_json::json!({"k": k, "threshold": threshold, "f1": conf.f1()}));
+        curve.push(rpt_json::json!({"k": k, "threshold": threshold, "f1": conf.f1()}));
         if k == 12 {
             threshold8 = threshold;
         }
@@ -158,7 +158,7 @@ fn main() {
 
     write_artifact(
         "fig5_pipeline",
-        &serde_json::json!({
+        &rpt_json::json!({
             "experiment": "fig5_pipeline",
             "target": target,
             "few_shot_curve": curve,

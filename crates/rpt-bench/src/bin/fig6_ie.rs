@@ -5,8 +5,8 @@
 //! *inferred* from k = 1, 2, 4 examples via PET-style task interpretation
 //! ("what is the `[M]`" instantiated from the example labels, §4).
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SeedableRng;
 use rpt_bench::{f2, write_artifact, Workbench};
 use rpt_core::ie::{infer_attribute, IeConfig, RptI};
 use rpt_core::train::TrainOpts;
@@ -53,7 +53,7 @@ fn main() {
         }
         let eval = rpti.evaluate(&subset, None);
         println!("{:<8} {:>6} {:>9} {:>5}", attr, f2(eval.exact), f2(eval.token_f1), eval.n);
-        gold_rows.push(serde_json::json!({"attr": attr, "exact": eval.exact, "token_f1": eval.token_f1, "n": eval.n}));
+        gold_rows.push(rpt_json::json!({"attr": attr, "exact": eval.exact, "token_f1": eval.token_f1, "n": eval.n}));
     }
     let overall = rpti.evaluate(test, None);
     println!("{:<8} {:>6} {:>9} {:>5}", "ALL", f2(overall.exact), f2(overall.token_f1), overall.n);
@@ -85,7 +85,7 @@ fn main() {
                 f2(eval.exact),
                 f2(eval.token_f1)
             );
-            kshot_rows.push(serde_json::json!({
+            kshot_rows.push(rpt_json::json!({
                 "attr": attr, "k": k, "inferred": inferred, "correct_inference": ok,
                 "exact": eval.exact, "token_f1": eval.token_f1,
             }));
@@ -94,7 +94,7 @@ fn main() {
 
     write_artifact(
         "fig6_ie",
-        &serde_json::json!({
+        &rpt_json::json!({
             "experiment": "fig6_ie",
             "gold_questions": gold_rows,
             "overall": {"exact": overall.exact, "token_f1": overall.token_f1, "n": overall.n},

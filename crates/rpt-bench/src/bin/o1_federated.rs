@@ -11,8 +11,8 @@
 //! Expected shape: federated recovers most of the centralized quality
 //! without any client sharing its pairs.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SeedableRng;
 use rpt_bench::{f2, write_artifact, Workbench};
 use rpt_core::er::{federated_rounds, Blocker, FederatedConfig, Matcher, MatcherConfig};
 use rpt_core::train::TrainOpts;
@@ -81,7 +81,7 @@ fn main() {
         m.train(&clients);
         let (f1, t) = best_f1(&m.score_pairs(bench, &candidates), &labels);
         println!("{:<14} {:>8} {:>12}", "centralized", f2(f1), format!("{t:.2}"));
-        rows.push(serde_json::json!({"regime": "centralized", "f1": f1}));
+        rows.push(rpt_json::json!({"regime": "centralized", "f1": f1}));
     }
 
     // federated: FedAvg with the same total step budget
@@ -96,7 +96,7 @@ fn main() {
         federated_rounds(&mut m, &clients, &fed);
         let (f1, t) = best_f1(&m.score_pairs(bench, &candidates), &labels);
         println!("{:<14} {:>8} {:>12}", "federated", f2(f1), format!("{t:.2}"));
-        rows.push(serde_json::json!({"regime": "federated", "f1": f1, "rounds": fed.rounds, "local_steps": fed.local_steps}));
+        rows.push(rpt_json::json!({"regime": "federated", "f1": f1, "rounds": fed.rounds, "local_steps": fed.local_steps}));
     }
 
     // single clients: each benchmark alone
@@ -111,12 +111,12 @@ fn main() {
             f2(f1),
             format!("{t:.2}")
         );
-        rows.push(serde_json::json!({"regime": format!("single:{}", client_bench.name), "f1": f1}));
+        rows.push(rpt_json::json!({"regime": format!("single:{}", client_bench.name), "f1": f1}));
     }
 
     write_artifact(
         "o1_federated",
-        &serde_json::json!({
+        &rpt_json::json!({
             "experiment": "o1_federated",
             "target": target,
             "rows": rows,

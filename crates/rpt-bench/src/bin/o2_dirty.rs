@@ -7,8 +7,8 @@
 //! then demonstrates the hybrid detector (model disagreement + robust
 //! z-scores) on a corrupted table.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SeedableRng;
 use rpt_bench::{f2, write_artifact, Workbench};
 use rpt_core::cleaning::{evaluate_fill, CleaningConfig, MaskPolicy, RptC};
 use rpt_core::detect::{detect_errors, score_detection, DetectorConfig};
@@ -64,7 +64,7 @@ fn main() {
             f2(maker.token_f1),
             if price.numeric.is_nan() { "-".into() } else { f2(price.numeric) },
         );
-        series.push(serde_json::json!({
+        series.push(rpt_json::json!({
             "rate": rate,
             "injected_cells": injected,
             "manufacturer": {"exact": maker.exact, "token_f1": maker.token_f1},
@@ -119,7 +119,7 @@ fn main() {
 
     write_artifact(
         "o2_dirty",
-        &serde_json::json!({
+        &rpt_json::json!({
             "experiment": "o2_dirty",
             "pretraining_corruption_sweep": series,
             "detection": {

@@ -88,7 +88,7 @@ fn main() {
             truncate(&p_rpt.text, 17),
             truncate(&p_bart.text, 17),
         );
-        example_rows.push(serde_json::json!({
+        example_rows.push(rpt_json::json!({
             "row": row,
             "masked_column": test.schema().name(col),
             "truth": gold,
@@ -114,7 +114,7 @@ fn main() {
                 f2(eval.token_f1),
                 if eval.numeric.is_nan() { "-".into() } else { f2(eval.numeric) },
             );
-            agg.push(serde_json::json!({
+            agg.push(rpt_json::json!({
                 "column": label,
                 "model": fname,
                 "exact": eval.exact,
@@ -127,7 +127,7 @@ fn main() {
 
     write_artifact(
         "table1",
-        &serde_json::json!({
+        &rpt_json::json!({
             "experiment": "table1",
             "examples": example_rows,
             "aggregates": agg,

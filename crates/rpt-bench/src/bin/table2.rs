@@ -13,8 +13,8 @@
 //! An extra section reports the collaborative-training ablation: training
 //! the matcher on a single source benchmark instead of all four.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SeedableRng;
 use rpt_baselines::{DeepMatcherLike, JaccardMatcher, PairScorer, ZeroEr};
 use rpt_bench::{evaluate_scorer, f2, write_artifact, Workbench};
 use rpt_core::er::{calibrate_threshold_f1, Blocker, Matcher, MatcherConfig};
@@ -81,7 +81,7 @@ fn train_rpt_e(
     // (almost all negative) — then pick the F1-maximizing threshold
     let tb = w.bench(target);
     let candidates = blocker.candidates(&tb.table_a, &tb.table_b);
-    use rand::seq::SliceRandom;
+    use rpt_rng::SliceRandom;
     let mut sample: Vec<(usize, usize)> = tb.all_matches();
     sample.shuffle(rng);
     sample.truncate(8);
@@ -114,7 +114,7 @@ fn main() {
     ];
     let steps = 2200usize;
 
-    let mut results: Vec<serde_json::Value> = Vec::new();
+    let mut results: Vec<rpt_json::Json> = Vec::new();
     let mut rows: Vec<(String, f64, f64)> = Vec::new(); // model, d1, d2
     let mut cell = std::collections::HashMap::new();
 
@@ -134,7 +134,7 @@ fn main() {
             rpte.threshold()
         );
         cell.insert(("RPT-E", target), conf.f1());
-        results.push(serde_json::json!({"target": target, "model": "RPT-E", "f1": conf.f1(), "precision": conf.precision(), "recall": conf.recall()}));
+        results.push(rpt_json::json!({"target": target, "model": "RPT-E", "f1": conf.f1(), "precision": conf.precision(), "recall": conf.recall()}));
 
         // ZeroER (unsupervised on target)
         let mut zeroer = ZeroEr::new();
@@ -146,7 +146,7 @@ fn main() {
             f2(conf.recall())
         );
         cell.insert(("ZeroER", target), conf.f1());
-        results.push(serde_json::json!({"target": target, "model": "ZeroER", "f1": conf.f1(), "precision": conf.precision(), "recall": conf.recall()}));
+        results.push(rpt_json::json!({"target": target, "model": "ZeroER", "f1": conf.f1(), "precision": conf.precision(), "recall": conf.recall()}));
 
         // DeepMatcher (supervised on target)
         let mut dm = DeepMatcherLike::new(11);
@@ -161,14 +161,14 @@ fn main() {
             train_pairs.pairs.len()
         );
         cell.insert(("DeepMatcher", target), conf.f1());
-        results.push(serde_json::json!({"target": target, "model": "DeepMatcher", "f1": conf.f1(), "precision": conf.precision(), "recall": conf.recall(), "target_train_pairs": train_pairs.pairs.len()}));
+        results.push(rpt_json::json!({"target": target, "model": "DeepMatcher", "f1": conf.f1(), "precision": conf.precision(), "recall": conf.recall(), "target_train_pairs": train_pairs.pairs.len()}));
 
         // Jaccard floor
         let mut jac = JaccardMatcher { threshold: 0.4 };
         let conf = evaluate_scorer(&mut jac, bench, &blocker);
         println!("  Jaccard(0.4) F1 {} (sanity floor)", f2(conf.f1()));
         cell.insert(("Jaccard", target), conf.f1());
-        results.push(serde_json::json!({"target": target, "model": "Jaccard", "f1": conf.f1()}));
+        results.push(rpt_json::json!({"target": target, "model": "Jaccard", "f1": conf.f1()}));
 
         // Ablation: single-source transfer instead of collaborative
         let single_source = if target == "abt-buy" { "amazon-google" } else { "abt-buy" };
@@ -179,7 +179,7 @@ fn main() {
             f2(conf.f1())
         );
         cell.insert(("RPT-E-single", target), conf.f1());
-        results.push(serde_json::json!({"target": target, "model": "RPT-E-single-source", "f1": conf.f1(), "source": single_source}));
+        results.push(rpt_json::json!({"target": target, "model": "RPT-E-single-source", "f1": conf.f1(), "source": single_source}));
         println!();
     }
 
@@ -198,7 +198,7 @@ fn main() {
 
     write_artifact(
         "table2",
-        &serde_json::json!({
+        &rpt_json::json!({
             "experiment": "table2",
             "results": results,
             "paper": {"RPT-E": [0.72, 0.53], "ZeroER": [0.52, 0.48], "DeepMatcher": [0.63, 0.69]},

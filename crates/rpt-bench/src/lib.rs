@@ -17,8 +17,8 @@
 use std::collections::HashSet;
 use std::path::Path;
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SeedableRng;
 use rpt_baselines::PairScorer;
 use rpt_core::er::Blocker;
 use rpt_core::vocabulary::build_vocab;
@@ -104,22 +104,17 @@ pub fn evaluate_scorer(
 }
 
 /// Writes a JSON artifact under `bench_results/`, creating the directory.
-pub fn write_artifact(name: &str, value: &serde_json::Value) {
+pub fn write_artifact(name: &str, value: &rpt_json::Json) {
     let dir = Path::new("bench_results");
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("warning: cannot create {dir:?}: {e}");
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("warning: cannot write {path:?}: {e}");
-            } else {
-                println!("\n[artifact] {}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialize artifact {name}: {e}"),
+    if let Err(e) = std::fs::write(&path, value.to_string_pretty()) {
+        eprintln!("warning: cannot write {path:?}: {e}");
+    } else {
+        println!("\n[artifact] {}", path.display());
     }
 }
 

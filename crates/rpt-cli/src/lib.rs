@@ -16,8 +16,8 @@
 
 use std::fmt::Write as _;
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SeedableRng;
 use rpt_baselines::ZeroEr;
 use rpt_core::cleaning::{CleaningConfig, Filler, RptC};
 use rpt_core::detect::{detect_errors, DetectorConfig};

@@ -10,9 +10,9 @@
 //! Inference ([`RptC::fill`]) serializes the tuple with the target column
 //! masked and beam-decodes the reconstruction.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rpt_rng::SmallRng;
+use rpt_rng::SliceRandom;
+use rpt_rng::{Rng, SeedableRng};
 use rpt_nn::{
     beam_search, BeamConfig, Ctx, Seq2Seq, Sequence, TokenBatch, TransformerConfig,
 };

@@ -125,8 +125,8 @@ impl Blocker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rpt_rng::SmallRng;
+    use rpt_rng::SeedableRng;
     use rpt_datagen::standard_benchmarks;
 
     #[test]

@@ -104,8 +104,8 @@ mod tests {
     use super::*;
     use crate::er::matcher::MatcherConfig;
     use crate::vocabulary::build_vocab;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rpt_rng::SmallRng;
+    use rpt_rng::SeedableRng;
     use rpt_datagen::standard_benchmarks;
 
     #[test]

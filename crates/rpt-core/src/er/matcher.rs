@@ -3,9 +3,9 @@
 //! construction, trained collaboratively on *other* benchmarks
 //! (leave-one-out) and calibrated on the target with a few examples.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rpt_rng::SmallRng;
+use rpt_rng::SliceRandom;
+use rpt_rng::{Rng, SeedableRng};
 use rpt_datagen::{ErBenchmark, LabeledPair, PairSet};
 use rpt_nn::metrics::BinaryConfusion;
 use rpt_nn::{Ctx, EncoderClassifier, Sequence, TokenBatch, TransformerConfig};

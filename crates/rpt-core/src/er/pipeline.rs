@@ -244,8 +244,8 @@ mod tests {
     use crate::er::blocker::Blocker;
     use crate::er::matcher::{Matcher, MatcherConfig};
     use crate::vocabulary::build_vocab;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rpt_rng::SmallRng;
+    use rpt_rng::SeedableRng;
     use rpt_datagen::standard_benchmarks;
 
     #[test]

@@ -8,9 +8,9 @@
 //! attribute keyword found next to the example's answer span
 //! (the paper's `s₁` with label `8GB` ⇒ "what is the memory size").
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rpt_rng::SmallRng;
+use rpt_rng::SliceRandom;
+use rpt_rng::{Rng, SeedableRng};
 use rpt_datagen::benchmarks::IeTask;
 use rpt_nn::{Ctx, Sequence, SpanExtractor, TokenBatch, TransformerConfig};
 use rpt_tokenizer::{normalize, Vocab, CLS, PAD, SEP};

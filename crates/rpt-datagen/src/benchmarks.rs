@@ -7,8 +7,8 @@
 //! variants) transfers across benchmarks — the premise of the paper's
 //! collaborative-training opportunity (O1, §3).
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use rpt_rng::SliceRandom;
+use rpt_rng::Rng;
 use rpt_table::{Schema, Table, Tuple, Value};
 
 use crate::render::{NoiseProfile, Renderer, UnitStyle};
@@ -464,8 +464,8 @@ pub fn ie_tasks(universe: &Universe, n: usize, rng: &mut (impl Rng + ?Sized)) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rpt_rng::SmallRng;
+    use rpt_rng::SeedableRng;
 
     #[test]
     fn standard_benchmarks_have_expected_shapes() {

@@ -2,7 +2,7 @@
 //! of §2.2: "Many tables are dirty. Pretraining RPT-C on these dirty tables
 //! may mislead RPT-C.").
 
-use rand::Rng;
+use rpt_rng::Rng;
 use rpt_table::{Table, Value};
 
 use crate::render::inject_typo;
@@ -131,8 +131,8 @@ pub fn inject_errors(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rpt_rng::SmallRng;
+    use rpt_rng::SeedableRng;
     use rpt_table::Schema;
 
     fn table() -> Table {

@@ -1,8 +1,8 @@
 //! Surface-form rendering and noise operators: how a ground-truth entity
 //! becomes the messy strings a real web catalog would contain.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use rpt_rng::SliceRandom;
+use rpt_rng::Rng;
 
 use crate::universe::Entity;
 
@@ -264,8 +264,8 @@ pub fn inject_typo(token: &str, rng: &mut (impl Rng + ?Sized)) -> String {
 mod tests {
     use super::*;
     use crate::universe::{Universe, UniverseConfig};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rpt_rng::SmallRng;
+    use rpt_rng::SeedableRng;
 
     fn entity() -> Entity {
         let u = Universe::generate(

@@ -2,13 +2,12 @@
 //! attributes are linked by the functional dependencies that RPT-C is
 //! supposed to learn.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rpt_rng::SliceRandom;
+use rpt_rng::Rng;
 
 /// Product category. Determines plausible screen sizes, memory options,
 /// and base prices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// Smartphones.
     Phone,
@@ -182,7 +181,7 @@ pub const BRANDS: &[Brand] = &[
 ];
 
 /// One ground-truth catalog entity.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Entity {
     /// Stable id (match labels compare these).
     pub id: u64,
@@ -330,8 +329,8 @@ impl Universe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rpt_rng::SmallRng;
+    use rpt_rng::SeedableRng;
 
     #[test]
     fn generation_is_deterministic_and_distinct() {

@@ -1,7 +1,7 @@
 //! Multi-head scaled dot-product attention ("Attention Is All You Need",
 //! the backbone the paper builds every RPT architecture on).
 
-use rand::RngCore;
+use rpt_rng::RngCore;
 use rpt_tensor::{ParamStore, Tensor, Var};
 
 use crate::module::{Ctx, Linear};
@@ -94,8 +94,8 @@ impl MultiHeadAttention {
 mod tests {
     use super::*;
     use crate::NEG_INF;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rpt_rng::SmallRng;
+    use rpt_rng::SeedableRng;
     use rpt_tensor::Tape;
 
     fn setup(d: usize, h: usize) -> (ParamStore, MultiHeadAttention) {

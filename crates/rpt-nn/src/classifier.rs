@@ -1,7 +1,7 @@
 //! Encoder-only models: the BERT-style [`EncoderClassifier`] behind RPT-E's
 //! matcher and the [`SpanExtractor`] behind RPT-I's question answering.
 
-use rand::RngCore;
+use rpt_rng::RngCore;
 use rpt_tensor::{ParamStore, Tape, Var};
 
 use crate::batch::TokenBatch;
@@ -313,8 +313,8 @@ impl SpanExtractor {
 mod tests {
     use super::*;
     use crate::batch::Sequence;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rpt_rng::SmallRng;
+    use rpt_rng::SeedableRng;
     use rpt_tensor::{clip_global_norm, Adam, AdamConfig};
 
     fn pair_cfg() -> TransformerConfig {

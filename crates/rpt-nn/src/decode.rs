@@ -4,8 +4,8 @@
 //! the value spans RPT-C generates are short (a handful of tokens), so
 //! clarity wins over micro-optimization here.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SeedableRng;
 use rpt_tensor::{ParamStore, Tape};
 
 use crate::batch::{Sequence, TokenBatch};

@@ -6,7 +6,7 @@
 //! dropout), and the training flag. A fresh tape is used per step; the
 //! store memoizes parameter binding so each parameter appears once.
 
-use rand::RngCore;
+use rpt_rng::RngCore;
 use rpt_tensor::{init, ParamId, ParamStore, Tape, Var};
 
 /// Everything a forward pass needs for one step.
@@ -206,8 +206,8 @@ impl LayerNorm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rpt_rng::SmallRng;
+    use rpt_rng::SeedableRng;
     use rpt_tensor::Tensor;
 
     #[test]

@@ -1,6 +1,6 @@
 //! Pre-LN transformer encoder and decoder stacks.
 
-use rand::RngCore;
+use rpt_rng::RngCore;
 use rpt_tensor::{ParamStore, Tensor, Var};
 
 use crate::attention::MultiHeadAttention;
@@ -273,8 +273,8 @@ impl Decoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rpt_rng::SmallRng;
+    use rpt_rng::SeedableRng;
     use rpt_tensor::{init, Tape};
 
     #[test]

@@ -11,12 +11,11 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::table::Table;
 
 /// Per-column summary statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ColumnProfile {
     /// Column name.
     pub name: String,
@@ -31,7 +30,7 @@ pub struct ColumnProfile {
 }
 
 /// An approximate functional dependency candidate `lhs → rhs`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FdCandidate {
     /// Determinant column index.
     pub lhs: usize,
@@ -45,7 +44,7 @@ pub struct FdCandidate {
 }
 
 /// Profiling result for a table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TableProfile {
     /// One profile per column.
     pub columns: Vec<ColumnProfile>,

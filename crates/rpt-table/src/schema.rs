@@ -2,12 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Declared column type. Values are not strictly validated against it —
 /// real-world tables are dirty, which is the paper's point — but the type
 /// guides profiling and the numeric-closeness evaluation metric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ColumnType {
     /// Free text / categorical.
     Text,
@@ -18,7 +17,7 @@ pub enum ColumnType {
 }
 
 /// An ordered list of named columns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schema {
     columns: Vec<(String, ColumnType)>,
 }

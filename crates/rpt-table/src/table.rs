@@ -1,6 +1,5 @@
 //! Tuples and tables.
 
-use serde::{Deserialize, Serialize};
 
 use crate::schema::Schema;
 use crate::value::Value;
@@ -9,7 +8,7 @@ use crate::value::Value;
 /// [`Schema`]. Per the paper, tuples are the atomic unit of both the data
 /// cleaning task (mask one attribute value, recover it from the rest) and
 /// the ER task (serialize two tuples, decide match / no-match).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tuple {
     values: Vec<Value>,
 }
@@ -63,7 +62,7 @@ impl From<Vec<Value>> for Tuple {
 }
 
 /// A table: a schema plus a bag of tuples.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
     tuples: Vec<Tuple>,

@@ -2,11 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// An attribute value: the paper's tables mix categorical, ordinal, and
 /// numerical data, so values carry a lightweight dynamic type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// SQL-style NULL / missing value.
     Null,

@@ -1,6 +1,6 @@
 //! Weight initialization helpers.
 
-use rand::Rng;
+use rpt_rng::Rng;
 
 use crate::tensor::Tensor;
 
@@ -43,8 +43,8 @@ pub fn embedding_init(vocab: usize, dim: usize, rng: &mut (impl Rng + ?Sized)) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rpt_rng::SmallRng;
+    use rpt_rng::SeedableRng;
 
     #[test]
     fn normal_has_roughly_requested_moments() {

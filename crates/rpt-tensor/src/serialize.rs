@@ -1,41 +1,35 @@
 //! Parameter checkpointing: save/load a [`ParamStore`] as JSON.
 //!
-//! JSON is verbose but human-inspectable and needs no extra dependencies
-//! beyond `serde_json`; the models in this reproduction are small (well
-//! under a million scalars), so file size is not a concern.
+//! JSON is verbose but human-inspectable and needs no dependencies beyond
+//! the in-tree `rpt-json`; the models in this reproduction are small (well
+//! under a million scalars), so file size is not a concern. The format is
+//! unchanged from the original `serde_json` emitter —
+//! `{"format_version":1,"params":[{"name":...,"shape":[...],"data":[...]}]}` —
+//! so checkpoints written before the migration load identically. Floats
+//! are written with shortest round-trip decimal encoding, which makes
+//! `f32` tensors bit-identical after a save/load cycle.
 
 use std::fs;
 use std::io;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use rpt_json::{json, Json, JsonError};
 
 use crate::optim::ParamStore;
 use crate::tensor::Tensor;
 
-/// Serialized form of one parameter.
-#[derive(Serialize, Deserialize)]
-struct ParamRecord {
-    name: String,
-    shape: Vec<usize>,
-    data: Vec<f32>,
-}
-
-/// Serialized form of a whole store.
-#[derive(Serialize, Deserialize)]
-struct Checkpoint {
-    format_version: u32,
-    params: Vec<ParamRecord>,
-}
+/// The checkpoint format revision this build writes.
+const FORMAT_VERSION: u32 = 1;
 
 /// Errors from checkpoint IO.
 #[derive(Debug)]
 pub enum CheckpointError {
     /// Underlying filesystem error.
     Io(io::Error),
-    /// Malformed JSON or wrong structure.
-    Parse(serde_json::Error),
-    /// The checkpoint does not match the store's parameters.
+    /// Malformed JSON.
+    Parse(JsonError),
+    /// Well-formed JSON that is not a checkpoint, or a checkpoint that
+    /// does not match the store's parameters.
     Mismatch(String),
 }
 
@@ -57,47 +51,82 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-impl From<serde_json::Error> for CheckpointError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for CheckpointError {
+    fn from(e: JsonError) -> Self {
         CheckpointError::Parse(e)
     }
 }
 
+fn structure(msg: impl Into<String>) -> CheckpointError {
+    CheckpointError::Mismatch(msg.into())
+}
+
 /// Serializes every parameter of `store` to a JSON string.
 pub fn to_json(store: &ParamStore) -> String {
-    let ckpt = Checkpoint {
-        format_version: 1,
-        params: store
-            .iter()
-            .map(|(name, t)| ParamRecord {
-                name: name.to_string(),
-                shape: t.shape().to_vec(),
-                data: t.data().to_vec(),
+    let params: Vec<Json> = store
+        .iter()
+        .map(|(name, t)| {
+            json!({
+                "name": name,
+                "shape": t.shape().iter().map(|&d| Json::from(d)).collect::<Vec<_>>(),
+                "data": t.data().iter().map(|&x| Json::from(x)).collect::<Vec<_>>(),
             })
-            .collect(),
-    };
-    serde_json::to_string(&ckpt).expect("checkpoint serialization cannot fail")
+        })
+        .collect();
+    json!({
+        "format_version": FORMAT_VERSION,
+        "params": params,
+    })
+    .to_string()
 }
 
 /// Loads parameter values from JSON into an existing store, matching by
 /// name. Every parameter in the store must be present with the same shape.
 pub fn load_json(store: &mut ParamStore, json: &str) -> Result<(), CheckpointError> {
-    let ckpt: Checkpoint = serde_json::from_str(json)?;
-    for record in ckpt.params {
-        let Some(id) = store.find(&record.name) else {
+    let doc = Json::parse(json)?;
+    doc.get("format_version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| structure("missing format_version"))?;
+    let params = doc
+        .get("params")
+        .and_then(Json::as_array)
+        .ok_or_else(|| structure("missing params array"))?;
+    for record in params {
+        let name = record
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| structure("param record without name"))?;
+        let shape: Vec<usize> = record
+            .get("shape")
+            .and_then(Json::as_array)
+            .ok_or_else(|| structure(format!("param {name} without shape")))?
+            .iter()
+            .map(|d| d.as_u64().map(|d| d as usize))
+            .collect::<Option<_>>()
+            .ok_or_else(|| structure(format!("param {name} has non-integer shape")))?;
+        let data: Vec<f32> = record
+            .get("data")
+            .and_then(Json::as_array)
+            .ok_or_else(|| structure(format!("param {name} without data")))?
+            .iter()
+            .map(|x| x.as_f64().map(|x| x as f32))
+            .collect::<Option<_>>()
+            .ok_or_else(|| structure(format!("param {name} has non-numeric data")))?;
+
+        let Some(id) = store.find(name) else {
             // Extra params in the file are tolerated (forward compat).
             continue;
         };
-        if store.value(id).shape() != record.shape.as_slice() {
-            return Err(CheckpointError::Mismatch(format!(
+        if store.value(id).shape() != shape.as_slice() {
+            return Err(structure(format!(
                 "parameter {} has shape {:?} in store but {:?} in checkpoint",
-                record.name,
+                name,
                 store.value(id).shape(),
-                record.shape
+                shape
             )));
         }
-        let t = Tensor::from_vec(record.data, &record.shape)
-            .map_err(|e| CheckpointError::Mismatch(format!("{}: {e}", record.name)))?;
+        let t = Tensor::from_vec(data, &shape)
+            .map_err(|e| structure(format!("{name}: {e}")))?;
         store.set_value(id, t);
     }
     Ok(())
@@ -135,6 +164,42 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_is_bit_exact_on_awkward_floats() {
+        // values whose decimal forms are non-terminating or subnormal
+        let vals = vec![
+            0.1f32,
+            1.0 / 3.0,
+            f32::MIN_POSITIVE / 8.0, // subnormal
+            -3.402_823_5e38,
+            1.000_000_1,
+            5.877_472e-39,
+        ];
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::from_vec(vals.clone(), &[6]).unwrap());
+        let json = to_json(&store);
+        let mut store2 = ParamStore::new();
+        let id2 = store2.register("w", Tensor::zeros(&[6]));
+        load_json(&mut store2, &json).unwrap();
+        let _ = id;
+        for (a, b) in vals.iter().zip(store2.value(id2).data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} reloaded as {b}");
+        }
+    }
+
+    #[test]
+    fn pre_migration_serde_checkpoint_still_loads() {
+        // byte-for-byte what serde_json::to_string emitted before the
+        // rpt-json migration (same field order, ryu float shortening)
+        let old = r#"{"format_version":1,"params":[{"name":"layer.w","shape":[2],"data":[1.5,-2.5]},{"name":"layer.b","shape":[1],"data":[0.25]}]}"#;
+        let mut store = ParamStore::new();
+        let w = store.register("layer.w", Tensor::zeros(&[2]));
+        let b = store.register("layer.b", Tensor::zeros(&[1]));
+        load_json(&mut store, old).unwrap();
+        assert_eq!(store.value(w).data(), &[1.5, -2.5]);
+        assert_eq!(store.value(b).data(), &[0.25]);
+    }
+
+    #[test]
     fn shape_mismatch_is_an_error() {
         let mut store = ParamStore::new();
         store.register("w", Tensor::zeros(&[2]));
@@ -165,6 +230,10 @@ mod tests {
         assert!(matches!(
             load_json(&mut store, "not json"),
             Err(CheckpointError::Parse(_))
+        ));
+        assert!(matches!(
+            load_json(&mut store, "{\"format_version\": 1}"),
+            Err(CheckpointError::Mismatch(_))
         ));
     }
 }

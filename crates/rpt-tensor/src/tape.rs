@@ -7,7 +7,7 @@
 
 use std::cell::RefCell;
 
-use rand::Rng;
+use rpt_rng::Rng;
 
 use crate::tensor::{softmax_row, Tensor};
 
@@ -768,8 +768,8 @@ fn gelu_grad(x: f32) -> f32 {
 mod tests {
     use super::*;
     use crate::gradcheck::max_grad_error;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rpt_rng::SmallRng;
+    use rpt_rng::SeedableRng;
 
     fn t(data: &[f32], shape: &[usize]) -> Tensor {
         Tensor::from_vec(data.to_vec(), shape).unwrap()

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use rpt_json::{Json, JsonError};
 
 use crate::{NUM_SPECIAL, SPECIAL_NAMES, UNK};
 
@@ -108,10 +108,9 @@ impl VocabBuilder {
 
 /// A frozen vocabulary: id 0..[`NUM_SPECIAL`] are the special tokens, the
 /// rest are corpus tokens in frequency order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Vocab {
     tokens: Vec<String>,
-    #[serde(skip)]
     index: HashMap<String, usize>,
 }
 
@@ -166,6 +165,46 @@ impl Vocab {
     /// Normalizes and encodes free text.
     pub fn encode_text(&self, text: &str) -> Vec<usize> {
         normalize(text).iter().map(|t| self.id_of(t)).collect()
+    }
+
+    /// Serializes to JSON (`{"tokens": [...]}`; same wire format the old
+    /// serde derive produced, so previously saved vocabularies load).
+    pub fn to_json(&self) -> String {
+        let tokens: Vec<Json> = self.tokens.iter().map(Json::from).collect();
+        let mut obj = rpt_json::Map::new();
+        obj.insert("tokens".to_string(), Json::Array(tokens));
+        Json::Object(obj).to_string()
+    }
+
+    /// Deserializes from [`Vocab::to_json`] output and rebuilds the
+    /// lookup index.
+    pub fn from_json(text: &str) -> Result<Vocab, JsonError> {
+        let doc = Json::parse(text)?;
+        let bad = |message: &str| JsonError {
+            message: message.to_string(),
+            offset: 0,
+        };
+        let tokens = doc
+            .get("tokens")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("vocab json needs a \"tokens\" array"))?
+            .iter()
+            .map(|t| t.as_str().map(str::to_string))
+            .collect::<Option<Vec<String>>>()
+            .ok_or_else(|| bad("vocab tokens must be strings"))?;
+        Ok(Vocab::from_tokens(tokens))
+    }
+
+    /// Writes the vocabulary to a file.
+    pub fn save_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a vocabulary from a file written by [`Vocab::save_file`].
+    pub fn load_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Vocab> {
+        let text = std::fs::read_to_string(path)?;
+        Vocab::from_json(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
     /// Decodes ids back to a space-joined string, skipping special tokens.
@@ -249,14 +288,35 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_with_index_rebuild() {
+    fn json_roundtrip_rebuilds_index() {
         let mut b = VocabBuilder::new();
         b.add_text("alpha beta");
         let v = b.build(1, 10);
-        let json = serde_json::to_string(&v).unwrap();
-        let mut v2: Vocab = serde_json::from_str(&json).unwrap();
-        v2.rebuild_index();
+        let json = v.to_json();
+        let v2 = Vocab::from_json(&json).unwrap();
         assert_eq!(v2.id_of("alpha"), v.id_of("alpha"));
         assert_eq!(v2.len(), v.len());
+    }
+
+    #[test]
+    fn pre_migration_serde_vocab_still_loads() {
+        // what serde_json emitted for a Vocab before the migration
+        let old = r#"{"tokens":["[PAD]","[M]","hello"]}"#;
+        let v = Vocab::from_json(old).unwrap();
+        assert_eq!(v.id_of("hello"), 2);
+    }
+
+    #[test]
+    fn vocab_file_roundtrip() {
+        let mut b = VocabBuilder::new();
+        b.add_text("gamma delta");
+        let v = b.build(1, 10);
+        let path = std::env::temp_dir().join("rpt_vocab_roundtrip_test.json");
+        v.save_file(&path).unwrap();
+        let v2 = Vocab::load_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(v2.len(), v.len());
+        assert_eq!(v2.id_of("gamma"), v.id_of("gamma"));
+        assert!(Vocab::from_json("{}").is_err());
     }
 }

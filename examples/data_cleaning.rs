@@ -13,8 +13,8 @@
 //! Also demonstrates FD-aware masking: the table is profiled first and the
 //! discovered approximate FDs are printed.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SeedableRng;
 use rpt::core::cleaning::{CleaningConfig, Filler, MaskPolicy, RptC};
 use rpt::core::train::TrainOpts;
 use rpt::core::vocabulary::build_vocab;

@@ -9,8 +9,8 @@
 //! (with conflict detection) → consolidated golden records, plus the
 //! PET-style few-shot task interpretation of §3.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SeedableRng;
 use rpt::core::er::{infer_match_patterns, Blocker, ErPipeline, Matcher, MatcherConfig};
 use rpt::core::train::TrainOpts;
 use rpt::core::vocabulary::build_vocab;

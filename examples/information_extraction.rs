@@ -8,8 +8,8 @@
 //! examples (`s₁`); the system interprets the task ("what is the memory
 //! size"), then performs it on new text-rich tuples (`t₁`).
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SeedableRng;
 use rpt::core::ie::{infer_attribute, question_for, IeConfig, RptI};
 use rpt::core::train::TrainOpts;
 use rpt::core::vocabulary::build_vocab;

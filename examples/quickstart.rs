@@ -9,8 +9,8 @@
 //! and scores a candidate pair, and runs RPT-I span extraction with a
 //! question inferred from a single example.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SeedableRng;
 use rpt::core::cleaning::{CleaningConfig, Filler, MaskPolicy, RptC};
 use rpt::core::er::{Matcher, MatcherConfig};
 use rpt::core::ie::{infer_attribute, question_for, IeConfig, RptI};

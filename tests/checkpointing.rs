@@ -2,14 +2,14 @@
 //! get byte-identical predictions — the "plug and play tool" property of
 //! §2.2 research opportunity O3.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SeedableRng;
 use rpt::core::cleaning::{CleaningConfig, Filler, RptC};
 use rpt::core::train::TrainOpts;
 use rpt::core::vocabulary::build_vocab;
 use rpt::datagen::standard_benchmarks;
 use rpt::table::Table;
-use rpt::tensor::serialize::{load_json, to_json};
+use rpt::tensor::serialize::{load_file, load_json, save_file, to_json};
 
 #[test]
 fn trained_rpt_c_roundtrips_through_json() {
@@ -42,6 +42,42 @@ fn trained_rpt_c_roundtrips_through_json() {
         assert_eq!(a.tokens, b.tokens, "row {row}: loaded model diverges");
         assert_eq!(a.text, b.text);
     }
+}
+
+#[test]
+fn checkpoint_file_roundtrip_is_bit_identical() {
+    // The rpt-json writer uses shortest round-trip decimal encoding, so
+    // every f32 a training run produces must survive save -> load with
+    // identical bits, through an actual file.
+    let mut rng = SmallRng::seed_from_u64(11);
+    let (_u, benches) = standard_benchmarks(15, &mut rng);
+    let tables: Vec<&Table> = vec![&benches[2].table_a];
+    let vocab = build_vocab(&tables, &[], 1, 3000);
+    let mut cfg = CleaningConfig::tiny();
+    cfg.train.steps = 30;
+    let mut model = RptC::new(vocab.clone(), cfg.clone());
+    model.pretrain(&tables);
+
+    let path = std::env::temp_dir().join("rpt_checkpoint_bitexact_test.json");
+    save_file(&model.params, &path).expect("save checkpoint");
+    let mut fresh = RptC::new(vocab, cfg);
+    load_file(&mut fresh.params, &path).expect("load checkpoint");
+    std::fs::remove_file(&path).ok();
+
+    let mut compared = 0usize;
+    for ((name_a, t_a), (name_b, t_b)) in model.params.iter().zip(fresh.params.iter()) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(t_a.shape(), t_b.shape());
+        for (x, y) in t_a.data().iter().zip(t_b.data()) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{name_a}: {x} reloaded as {y} (bits differ)"
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared > 1000, "only {compared} scalars compared");
 }
 
 #[test]

@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: miniature versions of the paper's three
 //! experiments, checking the *shape* of each result end-to-end.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rpt_rng::SmallRng;
+use rpt_rng::SeedableRng;
 use rpt::baselines::{BartText, JaccardMatcher, PairScorer, ZeroEr};
 use rpt::core::cleaning::{evaluate_fill, CleaningConfig, MaskPolicy, RptC};
 use rpt::core::er::{Blocker, ErPipeline, Matcher, MatcherConfig};
@@ -68,7 +68,7 @@ fn rpt_c_beats_text_only_bart_on_relational_fills() {
 #[test]
 fn rpt_e_beats_zeroer_on_held_out_benchmark() {
     let mut rng = SmallRng::seed_from_u64(2);
-    let (universe, benches) = standard_benchmarks(50, &mut rng);
+    let (_universe, benches) = standard_benchmarks(50, &mut rng);
     let tables: Vec<&Table> = benches
         .iter()
         .flat_map(|b| [&b.table_a, &b.table_b])

@@ -1,40 +1,45 @@
 //! Property-based tests over the cross-crate invariants.
+//!
+//! Formerly proptest; now deterministic seeded-loop generators on
+//! `rpt_rng` so the suite runs fully offline. Each property draws a few
+//! hundred random cases from a fixed seed — failures reproduce exactly.
 
-use proptest::prelude::*;
 use rpt::core::er::transitive_closure;
 use rpt::nn::metrics::{numeric_closeness, token_f1, BinaryConfusion};
 use rpt::table::{csv, Schema, Table, Value};
 use rpt::tokenizer::{normalize, EncoderOptions, TupleEncoder, Vocab, VocabBuilder};
+use rpt_rng::{Rng, SeedableRng, SliceRandom, SmallRng};
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        "[a-z0-9 .]{0,12}".prop_map(|s| Value::parse(&s)),
-        any::<i32>().prop_map(|i| Value::Int(i as i64)),
-        (-1.0e6f64..1.0e6).prop_map(Value::Float),
-    ]
+/// Cases per property (proptest used 64 for the table-shaped ones).
+const CASES: usize = 64;
+
+fn arb_string(rng: &mut SmallRng, alphabet: &[char], max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| *alphabet.choose(rng).unwrap()).collect()
 }
 
-fn arb_table() -> impl Strategy<Value = Table> {
-    (1usize..5)
-        .prop_flat_map(|arity| {
-            let schema: Vec<String> = (0..arity).map(|i| format!("col{i}")).collect();
-            (
-                Just(schema),
-                proptest::collection::vec(
-                    proptest::collection::vec(arb_value(), arity),
-                    0..12,
-                ),
-            )
-        })
-        .prop_map(|(names, rows)| {
-            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-            let mut t = Table::new("prop", Schema::text_columns(&refs));
-            for row in rows {
-                t.push_values(row);
-            }
-            t
-        })
+fn arb_value(rng: &mut SmallRng) -> Value {
+    const ALPHABET: &[char] = &[
+        'a', 'b', 'c', 'x', 'y', 'z', '0', '1', '5', '9', ' ', '.',
+    ];
+    match rng.gen_range(0..4u32) {
+        0 => Value::Null,
+        1 => Value::parse(&arb_string(rng, ALPHABET, 12)),
+        2 => Value::Int(rng.gen_range(i32::MIN..=i32::MAX) as i64),
+        _ => Value::Float(rng.gen_range(-1.0e6..1.0e6)),
+    }
+}
+
+fn arb_table(rng: &mut SmallRng) -> Table {
+    let arity = rng.gen_range(1..5usize);
+    let names: Vec<String> = (0..arity).map(|i| format!("col{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut t = Table::new("prop", Schema::text_columns(&refs));
+    let rows = rng.gen_range(0..12usize);
+    for _ in 0..rows {
+        t.push_values((0..arity).map(|_| arb_value(rng)).collect());
+    }
+    t
 }
 
 fn vocab_for(table: &Table) -> Vocab {
@@ -50,118 +55,153 @@ fn vocab_for(table: &Table) -> Vocab {
     b.build(1, 10_000)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// CSV write → read preserves every value (up to the Value::parse
-    /// canonicalization already applied when the table was built).
-    #[test]
-    fn csv_roundtrip(table in arb_table()) {
+/// CSV write → read preserves every value (up to the `Value::parse`
+/// canonicalization already applied when the table was built).
+#[test]
+fn csv_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xC5F0);
+    for case in 0..CASES {
+        let table = arb_table(&mut rng);
         let text = csv::write_table(&table);
         let back = csv::read_table("back", &text).unwrap();
-        prop_assert_eq!(back.len(), table.len());
+        assert_eq!(back.len(), table.len(), "case {case}");
         for (a, b) in table.tuples().iter().zip(back.tuples().iter()) {
             for (va, vb) in a.values().iter().zip(b.values().iter()) {
                 // rendering is the canonical comparison: Null -> "" -> Null,
                 // numerics reparse to the same rendering
-                prop_assert_eq!(va.render(), vb.render());
+                assert_eq!(va.render(), vb.render(), "case {case}");
             }
         }
     }
+}
 
-    /// Serialization invariants: ids/cols stay aligned; every value span
-    /// indexes real positions; masking a span shortens the sequence by
-    /// span_len - 1 and the target matches the original tokens.
-    #[test]
-    fn tuple_encoding_invariants(table in arb_table()) {
+/// Serialization invariants: ids/cols stay aligned; every value span
+/// indexes real positions; masking a span shortens the sequence by
+/// span_len - 1 and the target matches the original tokens.
+#[test]
+fn tuple_encoding_invariants() {
+    let mut rng = SmallRng::seed_from_u64(0x70C3);
+    for case in 0..CASES {
+        let table = arb_table(&mut rng);
         let vocab = vocab_for(&table);
         let enc = TupleEncoder::new(vocab, EncoderOptions::default());
         for tuple in table.tuples() {
             let e = enc.encode_tuple(table.schema(), tuple);
-            prop_assert_eq!(e.ids.len(), e.cols.len());
+            assert_eq!(e.ids.len(), e.cols.len(), "case {case}");
             for (col, range) in &e.value_spans {
-                prop_assert!(range.end <= e.ids.len());
-                prop_assert!(range.start < range.end);
+                assert!(range.end <= e.ids.len(), "case {case}");
+                assert!(range.start < range.end, "case {case}");
                 for p in range.clone() {
-                    prop_assert_eq!(e.cols[p], col + 1);
+                    assert_eq!(e.cols[p], col + 1, "case {case}");
                 }
             }
             if !e.value_spans.is_empty() {
                 let (masked, target) = e.mask_value_span(0);
                 let span_len = e.value_spans[0].1.len();
-                prop_assert_eq!(masked.ids.len(), e.ids.len() - span_len + 1);
-                prop_assert_eq!(target.len(), span_len);
-                prop_assert_eq!(&e.ids[e.value_spans[0].1.clone()], target.as_slice());
+                assert_eq!(masked.ids.len(), e.ids.len() - span_len + 1, "case {case}");
+                assert_eq!(target.len(), span_len, "case {case}");
+                assert_eq!(
+                    &e.ids[e.value_spans[0].1.clone()],
+                    target.as_slice(),
+                    "case {case}"
+                );
             }
         }
     }
+}
 
-    /// normalize is idempotent: normalizing the joined output changes
-    /// nothing.
-    #[test]
-    fn normalize_idempotent(s in "\\PC{0,40}") {
+/// normalize is idempotent: normalizing the joined output changes
+/// nothing.
+#[test]
+fn normalize_idempotent() {
+    // printable-ish alphabet: letters, digits, punctuation, unicode
+    const ALPHABET: &[char] = &[
+        'a', 'Z', 'q', '3', '7', '.', ',', '-', '$', '(', ')', '!', ' ', '\t',
+        'é', 'ß', '中', '😀', '"', '\'', '/', ':', '+', '_', '[', ']', '%',
+    ];
+    let mut rng = SmallRng::seed_from_u64(0x1DE1);
+    for case in 0..256 {
+        let s = arb_string(&mut rng, ALPHABET, 40);
         let once = normalize(&s);
         let twice = normalize(&once.join(" "));
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "case {case}: {s:?}");
     }
+}
 
-    /// Union-find invariants: edges connect, assignment partitions.
-    #[test]
-    fn transitive_closure_partitions(
-        n in 1usize..40,
-        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..60)
-    ) {
-        let edges: Vec<(usize, usize)> = edges
-            .into_iter()
-            .map(|(a, b)| (a % n, b % n))
+/// Union-find invariants: edges connect, assignment partitions.
+#[test]
+fn transitive_closure_partitions() {
+    let mut rng = SmallRng::seed_from_u64(0xC105);
+    for case in 0..256 {
+        let n = rng.gen_range(1..40usize);
+        let n_edges = rng.gen_range(0..60usize);
+        let edges: Vec<(usize, usize)> = (0..n_edges)
+            .map(|_| (rng.gen_range(0..40usize) % n, rng.gen_range(0..40usize) % n))
             .collect();
         let c = transitive_closure(n, &edges);
-        prop_assert_eq!(c.assignment.len(), n);
+        assert_eq!(c.assignment.len(), n, "case {case}");
         let total: usize = c.members.iter().map(|m| m.len()).sum();
-        prop_assert_eq!(total, n);
+        assert_eq!(total, n, "case {case}");
         for &(a, b) in &edges {
-            prop_assert_eq!(c.assignment[a], c.assignment[b]);
+            assert_eq!(c.assignment[a], c.assignment[b], "case {case}");
         }
         for (node, &cid) in c.assignment.iter().enumerate() {
-            prop_assert!(c.members[cid].contains(&node));
+            assert!(c.members[cid].contains(&node), "case {case}");
         }
     }
+}
 
-    /// token_f1 is symmetric, bounded, and 1 exactly on multiset equality.
-    #[test]
-    fn token_f1_properties(
-        a in proptest::collection::vec(0usize..6, 0..8),
-        b in proptest::collection::vec(0usize..6, 0..8)
-    ) {
+/// token_f1 is symmetric, bounded, and 1 exactly on multiset equality.
+#[test]
+fn token_f1_properties() {
+    let mut rng = SmallRng::seed_from_u64(0xF1F1);
+    for case in 0..512 {
+        let a: Vec<usize> = (0..rng.gen_range(0..8usize))
+            .map(|_| rng.gen_range(0..6usize))
+            .collect();
+        let b: Vec<usize> = (0..rng.gen_range(0..8usize))
+            .map(|_| rng.gen_range(0..6usize))
+            .collect();
         let f_ab = token_f1(&a, &b);
         let f_ba = token_f1(&b, &a);
-        prop_assert!((f_ab - f_ba).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&f_ab));
+        assert!((f_ab - f_ba).abs() < 1e-12, "case {case}");
+        assert!((0.0..=1.0).contains(&f_ab), "case {case}");
         let mut sa = a.clone();
         let mut sb = b.clone();
         sa.sort_unstable();
         sb.sort_unstable();
         if sa == sb {
-            prop_assert!((f_ab - 1.0).abs() < 1e-12);
+            assert!((f_ab - 1.0).abs() < 1e-12, "case {case}");
         }
     }
+}
 
-    /// numeric_closeness is symmetric and bounded.
-    #[test]
-    fn numeric_closeness_properties(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+/// numeric_closeness is symmetric and bounded.
+#[test]
+fn numeric_closeness_properties() {
+    let mut rng = SmallRng::seed_from_u64(0xCCCC);
+    for case in 0..512 {
+        let a = rng.gen_range(-1e6..1e6f64);
+        let b = rng.gen_range(-1e6..1e6f64);
         let c = numeric_closeness(a, b);
-        prop_assert!((0.0..=1.0).contains(&c));
-        prop_assert!((c - numeric_closeness(b, a)).abs() < 1e-9);
-        prop_assert!((numeric_closeness(a, a) - 1.0).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&c), "case {case}");
+        assert!((c - numeric_closeness(b, a)).abs() < 1e-9, "case {case}");
+        assert!((numeric_closeness(a, a) - 1.0).abs() < 1e-12, "case {case}");
     }
+}
 
-    /// Confusion counts always reconcile with precision/recall bounds.
-    #[test]
-    fn confusion_bounds(pairs in proptest::collection::vec((any::<bool>(), any::<bool>()), 0..50)) {
+/// Confusion counts always reconcile with precision/recall bounds.
+#[test]
+fn confusion_bounds() {
+    let mut rng = SmallRng::seed_from_u64(0xB07D);
+    for case in 0..512 {
+        let pairs: Vec<(bool, bool)> = (0..rng.gen_range(0..50usize))
+            .map(|_| (rng.gen(), rng.gen()))
+            .collect();
         let c = BinaryConfusion::from_pairs(pairs.iter().copied());
-        prop_assert_eq!(c.tp + c.fp + c.fn_ + c.tn, pairs.len());
-        prop_assert!((0.0..=1.0).contains(&c.precision()));
-        prop_assert!((0.0..=1.0).contains(&c.recall()));
-        prop_assert!((0.0..=1.0).contains(&c.f1()));
+        assert_eq!(c.tp + c.fp + c.fn_ + c.tn, pairs.len(), "case {case}");
+        assert!((0.0..=1.0).contains(&c.precision()), "case {case}");
+        assert!((0.0..=1.0).contains(&c.recall()), "case {case}");
+        assert!((0.0..=1.0).contains(&c.f1()), "case {case}");
     }
 }
