@@ -39,7 +39,9 @@ fn human(d: Duration) -> String {
 }
 
 /// Times `f`, printing criterion-style name + median [min .. max] stats.
-fn bench_function(name: &str, mut f: impl FnMut()) {
+/// Returns the median per-iteration time so callers can derive ratios
+/// (e.g. the thread-scaling artifact).
+fn bench_function(name: &str, mut f: impl FnMut()) -> Duration {
     // warm-up, and estimate how many iterations fill a sample
     let warm_start = Instant::now();
     let mut iters_done = 0u64;
@@ -67,6 +69,7 @@ fn bench_function(name: &str, mut f: impl FnMut()) {
         human(samples[0]),
         human(samples[SAMPLES - 1]),
     );
+    samples[SAMPLES / 2]
 }
 
 fn bench_matmul() {
@@ -190,11 +193,57 @@ fn bench_batching() {
     });
 }
 
+/// Matmul thread-scaling at the logit-projection shape a Table-1-scale
+/// model multiplies every decode step (`[b*t, d] x [d, vocab]`). Verifies
+/// the products are bit-identical across pools, times 1/2/4 threads, and
+/// writes `bench_results/bench_parallel.json` with the speedups.
+fn bench_parallel() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let a = init::normal(&[256, 64], 1.0, &mut rng);
+    let b = init::normal(&[64, 2000], 1.0, &mut rng);
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let reference = a.matmul2d_with(&b, &rpt_par::ThreadPool::new(1));
+    let mut entries = Vec::new();
+    let mut medians = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let pool = rpt_par::ThreadPool::new(threads);
+        let out = a.matmul2d_with(&b, &pool);
+        assert_eq!(
+            out.data()
+                .iter()
+                .zip(reference.data())
+                .filter(|(x, y)| x.to_bits() != y.to_bits())
+                .count(),
+            0,
+            "parallel matmul must be bit-identical at {threads} threads"
+        );
+        let med = bench_function(&format!("parallel/matmul_256x64x2000_t{threads}"), || {
+            std::hint::black_box(a.matmul2d_with(&b, &pool));
+        });
+        medians.push(med.as_secs_f64());
+        let mut e = rpt_json::Map::new();
+        e.insert("threads".into(), rpt_json::Json::from(threads as f64));
+        e.insert("median_ns".into(), rpt_json::Json::from(med.as_nanos() as f64));
+        entries.push(rpt_json::Json::Object(e));
+    }
+    let mut root = rpt_json::Map::new();
+    root.insert("bench".into(), rpt_json::Json::from("matmul_256x64x2000"));
+    root.insert(
+        "hardware_threads".into(),
+        rpt_json::Json::from(hw as f64),
+    );
+    root.insert("runs".into(), rpt_json::Json::Array(entries));
+    root.insert("speedup_2".into(), rpt_json::Json::from(medians[0] / medians[1]));
+    root.insert("speedup_4".into(), rpt_json::Json::from(medians[0] / medians[2]));
+    rpt_bench::write_artifact("bench_parallel", &rpt_json::Json::Object(root));
+}
+
 fn main() {
     // `cargo bench -- <filter>` runs only groups whose name matches
     // (flags cargo injects, like `--bench`, are skipped)
     let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-    let groups: [(&str, fn()); 7] = [
+    let groups: [(&str, fn()); 8] = [
         ("matmul", bench_matmul),
         ("softmax_layernorm", bench_softmax_layernorm),
         ("attention", bench_attention),
@@ -202,6 +251,7 @@ fn main() {
         ("blocking_and_em", bench_blocking_and_em),
         ("profiling", bench_profiling),
         ("batching", bench_batching),
+        ("parallel", bench_parallel),
     ];
     println!("micro benchmarks: {SAMPLES} samples, ~2s measurement, 500ms warm-up\n");
     for (name, run) in groups {

@@ -103,9 +103,17 @@ pub fn evaluate_scorer(
     conf
 }
 
-/// Writes a JSON artifact under `bench_results/`, creating the directory.
+/// Writes a JSON artifact under the workspace-root `bench_results/`,
+/// creating the directory. Anchored to the manifest rather than the cwd
+/// because `cargo run` and `cargo bench` start binaries in different
+/// directories.
 pub fn write_artifact(name: &str, value: &rpt_json::Json) {
-    let dir = Path::new("bench_results");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let dir = root.join("bench_results");
+    let dir = dir.as_path();
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("warning: cannot create {dir:?}: {e}");
         return;

@@ -18,7 +18,7 @@ use rpt_nn::{
 };
 use rpt_table::{Schema, Table, TableProfile, Tuple, Value};
 use rpt_tokenizer::{EncodedTuple, EncoderOptions, TupleEncoder, Vocab, BOS, EOS, PAD};
-use rpt_tensor::{ParamStore, Tape};
+use rpt_tensor::ParamStore;
 
 use crate::train::{TrainOpts, Trainer};
 
@@ -280,39 +280,51 @@ impl RptC {
 
     /// One optimizer step over prepared (source, target) pairs. Exposed so
     /// the text-only baseline can reuse exactly the same machinery.
+    ///
+    /// The batch is split into micro-batch shards (`trainer.opts().micro_batch`,
+    /// `0` = one shard) and run data-parallel on the given pool; gradients
+    /// are reduced in fixed shard order, so the result is bit-identical for
+    /// any thread count.
+    pub fn denoising_step_on(
+        &mut self,
+        pool: &rpt_par::ThreadPool,
+        srcs: &[Sequence],
+        tgts: &[Vec<usize>],
+        trainer: &mut Trainer,
+    ) -> f32 {
+        let shards = rpt_nn::make_denoising_shards(
+            srcs,
+            tgts,
+            self.cfg.model.max_len,
+            PAD,
+            BOS,
+            EOS,
+            trainer.opts().micro_batch,
+            self.rng.gen(),
+        );
+        let model = &self.model;
+        trainer.step_data_parallel(
+            pool,
+            &mut self.params,
+            &shards,
+            |s| s.weight as f32,
+            |tape, params, shard| {
+                let mut rng = SmallRng::seed_from_u64(shard.seed);
+                let mut ctx = Ctx::new(tape, params, &mut rng, true);
+                model.reconstruction_loss(&mut ctx, &shard.src, &shard.tgt_in, &shard.tgt_out, PAD)
+            },
+        )
+    }
+
+    /// [`RptC::denoising_step_on`] on the process-global thread pool
+    /// (`RPT_THREADS`).
     pub fn denoising_step(
         &mut self,
         srcs: &[Sequence],
         tgts: &[Vec<usize>],
         trainer: &mut Trainer,
     ) -> f32 {
-        let max_len = self.cfg.model.max_len;
-        let src = TokenBatch::from_sequences(srcs, max_len, PAD);
-        let tgt_in_seqs: Vec<Sequence> = tgts
-            .iter()
-            .map(|t| {
-                let mut ids = Vec::with_capacity(t.len() + 1);
-                ids.push(BOS);
-                ids.extend_from_slice(t);
-                Sequence::from_ids(ids)
-            })
-            .collect();
-        let tgt_in = TokenBatch::from_sequences(&tgt_in_seqs, max_len, PAD);
-        let mut tgt_out = vec![PAD; tgt_in.b * tgt_in.t];
-        for (bi, t) in tgts.iter().enumerate() {
-            let n = t.len().min(tgt_in.t.saturating_sub(1));
-            for (i, &tok) in t.iter().take(n).enumerate() {
-                tgt_out[bi * tgt_in.t + i] = tok;
-            }
-            tgt_out[bi * tgt_in.t + n] = EOS;
-        }
-        let tape = Tape::new();
-        let mut rng = SmallRng::seed_from_u64(self.rng.gen());
-        let mut ctx = Ctx::new(&tape, &mut self.params, &mut rng, true);
-        let loss = self
-            .model
-            .reconstruction_loss(&mut ctx, &src, &tgt_in, &tgt_out, PAD);
-        trainer.step(&tape, &mut self.params, loss)
+        self.denoising_step_on(rpt_par::ThreadPool::global(), srcs, tgts, trainer)
     }
 
     /// Serializes `tuple` with `col` masked and returns the batchable

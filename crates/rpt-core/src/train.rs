@@ -1,8 +1,9 @@
 //! The shared training loop: Adam with Noam warmup and global-norm
 //! gradient clipping, reporting a loss curve.
 
+use rpt_par::ThreadPool;
 use rpt_nn::schedule::linear_warmup;
-use rpt_tensor::{clip_global_norm, Adam, AdamConfig, ParamStore, Tape, Var};
+use rpt_tensor::{clip_global_norm, Adam, AdamConfig, ParamId, ParamStore, Tape, Tensor, Var};
 
 /// Optimization hyperparameters.
 #[derive(Debug, Clone)]
@@ -11,6 +12,11 @@ pub struct TrainOpts {
     pub steps: usize,
     /// Examples per step.
     pub batch_size: usize,
+    /// Micro-batch size for data-parallel gradient accumulation: each step's
+    /// batch is split into shards of at most this many examples, processed
+    /// (possibly concurrently) with gradients reduced in fixed shard order.
+    /// `0` keeps the whole batch in one shard — the serial behaviour.
+    pub micro_batch: usize,
     /// Linear-warmup steps.
     pub warmup: usize,
     /// Peak learning rate (after warmup).
@@ -26,6 +32,7 @@ impl Default for TrainOpts {
         Self {
             steps: 300,
             batch_size: 16,
+            micro_batch: 0,
             warmup: 60,
             peak_lr: 3e-3,
             clip: 1.0,
@@ -86,13 +93,80 @@ impl Trainer {
     pub fn step(&mut self, tape: &Tape, params: &mut ParamStore, loss: Var) -> f32 {
         let loss_value = tape.value(loss).data()[0];
         let mut grads = tape.backward(loss);
-        let mut pg = params.collect_grads(&mut grads);
+        let pg = params.collect_grads(&mut grads);
+        self.apply_update(params, pg, loss_value)
+    }
+
+    /// The optimizer half of a step: clip the collected gradients, set the
+    /// scheduled learning rate, apply Adam, and record the loss.
+    pub fn apply_update(
+        &mut self,
+        params: &mut ParamStore,
+        mut pg: Vec<(ParamId, Tensor)>,
+        loss_value: f32,
+    ) -> f32 {
         clip_global_norm(&mut pg, self.opts.clip);
         let lr = linear_warmup(self.opts.peak_lr, self.opts.warmup as u64, self.adam.steps() + 1);
         self.adam.set_lr(lr);
         self.adam.step(params, &pg);
         self.losses.push(loss_value);
         loss_value
+    }
+
+    /// One data-parallel optimization step over pre-built shards.
+    ///
+    /// Each shard gets its own [`ParamStore`] clone (cheap: values are
+    /// shared, only the binding table is private) and its own tape;
+    /// `forward` builds the shard's loss graph. Workers run shards
+    /// concurrently on `pool`, but the reduction is always performed on the
+    /// caller's thread in shard order with weights `w_i / Σw`, so the
+    /// update — and hence the whole training trajectory — is bit-identical
+    /// for every thread count. With a single shard the scale is exactly
+    /// `1.0` and the result matches [`Trainer::step`] bit-for-bit.
+    pub fn step_data_parallel<S: Sync>(
+        &mut self,
+        pool: &ThreadPool,
+        params: &mut ParamStore,
+        shards: &[S],
+        shard_weight: impl Fn(&S) -> f32 + Sync,
+        forward: impl Fn(&Tape, &mut ParamStore, &S) -> Var + Sync,
+    ) -> f32 {
+        assert!(!shards.is_empty(), "step_data_parallel: no shards");
+        let shared: &ParamStore = params;
+        let results: Vec<(f32, Vec<(ParamId, Tensor)>)> = pool.map(shards.len(), |i| {
+            let mut local = shared.clone();
+            local.begin_step();
+            let tape = Tape::new();
+            let loss = forward(&tape, &mut local, &shards[i]);
+            let loss_value = tape.value(loss).data()[0];
+            let mut grads = tape.backward(loss);
+            (loss_value, local.collect_grads(&mut grads))
+        });
+        let total_w: f32 = shards.iter().map(&shard_weight).sum();
+        let mut loss_value = 0.0f32;
+        let mut acc: Vec<Option<Tensor>> = vec![None; params.len()];
+        for (shard, (lv, pg)) in shards.iter().zip(results) {
+            let scale = shard_weight(shard) / total_w.max(f32::MIN_POSITIVE);
+            loss_value += lv * scale;
+            for (id, mut g) in pg {
+                g.map_inplace(|x| x * scale);
+                match &mut acc[id.index()] {
+                    Some(a) => {
+                        let ad = a.data_mut();
+                        for (x, y) in ad.iter_mut().zip(g.data()) {
+                            *x += y;
+                        }
+                    }
+                    slot @ None => *slot = Some(g),
+                }
+            }
+        }
+        let pg: Vec<(ParamId, Tensor)> = acc
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.map(|g| (ParamId::from_index(i), g)))
+            .collect();
+        self.apply_update(params, pg, loss_value)
     }
 
     /// Number of steps taken so far.
@@ -145,5 +219,99 @@ mod tests {
     fn recent_loss_handles_short_history() {
         let trainer = Trainer::new(TrainOpts::default(), 16);
         assert!(trainer.recent_loss(5).is_nan());
+    }
+
+    fn quadratic_opts() -> TrainOpts {
+        TrainOpts {
+            steps: 40,
+            warmup: 5,
+            peak_lr: 0.05,
+            weight_decay: 0.0,
+            ..Default::default()
+        }
+    }
+
+    /// Builds `(w - target)^2` on the tape for the bound parameter 0.
+    fn quadratic_loss(tape: &Tape, params: &mut ParamStore, target: f32) -> Var {
+        let wv = params.bind(tape, rpt_tensor::ParamId::from_index(0));
+        let t = tape.constant(Tensor::scalar(target));
+        let d = tape.sub(wv, t);
+        tape.mul(d, d)
+    }
+
+    #[test]
+    fn data_parallel_single_shard_matches_serial_step_bitwise() {
+        let run_serial = || {
+            let mut params = ParamStore::new();
+            params.register("w", Tensor::scalar(4.0));
+            let mut trainer = Trainer::new(quadratic_opts(), 16);
+            while !trainer.finished() {
+                params.begin_step();
+                let tape = Tape::new();
+                let loss = quadratic_loss(&tape, &mut params, 1.0);
+                trainer.step(&tape, &mut params, loss);
+            }
+            (
+                params.value(ParamId::from_index(0)).data()[0],
+                trainer.losses().to_vec(),
+            )
+        };
+        let run_parallel = || {
+            let pool = ThreadPool::new(1);
+            let mut params = ParamStore::new();
+            params.register("w", Tensor::scalar(4.0));
+            let mut trainer = Trainer::new(quadratic_opts(), 16);
+            while !trainer.finished() {
+                trainer.step_data_parallel(
+                    &pool,
+                    &mut params,
+                    &[1.0f32],
+                    |_| 1.0,
+                    |tape, params, &target| quadratic_loss(tape, params, target),
+                );
+            }
+            (
+                params.value(ParamId::from_index(0)).data()[0],
+                trainer.losses().to_vec(),
+            )
+        };
+        let (w_serial, l_serial) = run_serial();
+        let (w_par, l_par) = run_parallel();
+        assert_eq!(w_serial.to_bits(), w_par.to_bits());
+        let serial_bits: Vec<u32> = l_serial.iter().map(|x| x.to_bits()).collect();
+        let par_bits: Vec<u32> = l_par.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(serial_bits, par_bits);
+    }
+
+    #[test]
+    fn data_parallel_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let pool = ThreadPool::new(threads);
+            let mut params = ParamStore::new();
+            params.register("w", Tensor::scalar(4.0));
+            let mut trainer = Trainer::new(quadratic_opts(), 16);
+            // three shards with uneven weights exercises the weighted
+            // fixed-order reduction
+            let shards = [(1.0f32, 3.0f32), (2.0, 1.0), (0.5, 2.0)];
+            while !trainer.finished() {
+                trainer.step_data_parallel(
+                    &pool,
+                    &mut params,
+                    &shards,
+                    |&(_, w)| w,
+                    |tape, params, &(target, _)| quadratic_loss(tape, params, target),
+                );
+            }
+            (
+                params.value(ParamId::from_index(0)).data()[0].to_bits(),
+                trainer.losses().iter().map(|x| x.to_bits()).collect::<Vec<u32>>(),
+            )
+        };
+        let (w1, l1) = run(1);
+        for threads in [2, 3, 4] {
+            let (w, l) = run(threads);
+            assert_eq!(w1, w, "final weight differs at {threads} threads");
+            assert_eq!(l1, l, "loss curve differs at {threads} threads");
+        }
     }
 }

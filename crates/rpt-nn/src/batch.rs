@@ -103,6 +103,39 @@ impl TokenBatch {
         self.valid.iter().filter(|&&v| v).count()
     }
 
+    /// Builds the decoder-side batches for teacher forcing: `tgt_in` is
+    /// `[bos, target…]` right-padded, and the returned flat `[b * t]` output
+    /// targets are `[target…, eos]` with `pad_id` elsewhere (ignored by the
+    /// loss). Shared by the denoising trainers in `rpt-core` and
+    /// `rpt-baselines`.
+    pub fn teacher_forcing(
+        tgts: &[Vec<usize>],
+        max_t: usize,
+        pad_id: usize,
+        bos_id: usize,
+        eos_id: usize,
+    ) -> (TokenBatch, Vec<usize>) {
+        let tgt_in_seqs: Vec<Sequence> = tgts
+            .iter()
+            .map(|t| {
+                let mut ids = Vec::with_capacity(t.len() + 1);
+                ids.push(bos_id);
+                ids.extend_from_slice(t);
+                Sequence::from_ids(ids)
+            })
+            .collect();
+        let tgt_in = TokenBatch::from_sequences(&tgt_in_seqs, max_t, pad_id);
+        let mut tgt_out = vec![pad_id; tgt_in.b * tgt_in.t];
+        for (bi, t) in tgts.iter().enumerate() {
+            let n = t.len().min(tgt_in.t.saturating_sub(1));
+            for (i, &tok) in t.iter().take(n).enumerate() {
+                tgt_out[bi * tgt_in.t + i] = tok;
+            }
+            tgt_out[bi * tgt_in.t + n] = eos_id;
+        }
+        (tgt_in, tgt_out)
+    }
+
     /// Length of row `bi` before padding.
     pub fn row_len(&self, bi: usize) -> usize {
         (0..self.t).take_while(|&i| self.valid[bi * self.t + i]).count()

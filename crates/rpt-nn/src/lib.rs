@@ -36,7 +36,7 @@ pub use classifier::{EncoderClassifier, SpanExtractor};
 pub use decode::{beam_search, greedy_decode, BeamConfig};
 pub use module::{Ctx, Embedding, LayerNorm, Linear};
 pub use schedule::NoamSchedule;
-pub use seq2seq::{Seq2Seq, TransformerConfig};
+pub use seq2seq::{make_denoising_shards, DenoisingShard, Seq2Seq, TransformerConfig};
 pub use transformer::{Decoder, Encoder};
 
 /// Large negative value used for additive attention masking.

@@ -235,6 +235,67 @@ impl Seq2Seq {
     }
 }
 
+/// One micro-batch of a denoising step, ready for an independent
+/// forward/backward pass. Shards are the unit of data parallelism: the
+/// decomposition of a step into shards depends only on the configured
+/// micro-batch size — never on the thread count — so the reduced gradient
+/// is bit-identical however many workers process them.
+#[derive(Debug, Clone)]
+pub struct DenoisingShard {
+    /// Padded source batch (corrupted tuple serializations).
+    pub src: TokenBatch,
+    /// Padded decoder input (`[bos, target…]`).
+    pub tgt_in: TokenBatch,
+    /// Flat `[b * t]` decoder targets (`[target…, eos]`, pad elsewhere).
+    pub tgt_out: Vec<usize>,
+    /// Number of non-pad target positions — the shard's weight when
+    /// averaging token-level losses across shards.
+    pub weight: usize,
+    /// Dropout seed for this shard's forward pass.
+    pub seed: u64,
+}
+
+/// Splits a denoising batch into [`DenoisingShard`]s of at most
+/// `micro_batch` examples (`0` means one shard holding everything).
+///
+/// Shard `i` gets dropout seed `base_seed + i·φ` (golden-ratio stride), so
+/// shard 0 of a single-shard step draws exactly `base_seed` — preserving
+/// the serial training trajectory bit-for-bit.
+pub fn make_denoising_shards(
+    srcs: &[crate::batch::Sequence],
+    tgts: &[Vec<usize>],
+    max_len: usize,
+    pad_id: usize,
+    bos_id: usize,
+    eos_id: usize,
+    micro_batch: usize,
+    base_seed: u64,
+) -> Vec<DenoisingShard> {
+    assert_eq!(srcs.len(), tgts.len(), "source/target count mismatch");
+    let chunk = if micro_batch == 0 {
+        srcs.len().max(1)
+    } else {
+        micro_batch
+    };
+    srcs.chunks(chunk)
+        .zip(tgts.chunks(chunk))
+        .enumerate()
+        .map(|(i, (s, t))| {
+            let src = TokenBatch::from_sequences(s, max_len, pad_id);
+            let (tgt_in, tgt_out) =
+                TokenBatch::teacher_forcing(t, max_len, pad_id, bos_id, eos_id);
+            let weight = tgt_out.iter().filter(|&&tok| tok != pad_id).count();
+            DenoisingShard {
+                src,
+                tgt_in,
+                tgt_out,
+                weight,
+                seed: base_seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +390,38 @@ mod tests {
         let mut ctx = Ctx::new(&tape, &mut params, &mut rng2, false);
         let loss = model.reconstruction_loss(&mut ctx, &src, &tgt_in, &tgt_out, 0);
         assert!(tape.value(loss).data()[0].is_finite());
+    }
+
+    #[test]
+    fn shard_builder_splits_by_micro_batch_only() {
+        let srcs: Vec<Sequence> = (0..5)
+            .map(|i| Sequence::from_ids(vec![9 + i % 3, 10, 11]))
+            .collect();
+        let tgts: Vec<Vec<usize>> = (0..5).map(|i| vec![9 + i % 3, 10]).collect();
+
+        // micro_batch = 0: one shard holding everything, seeded base_seed
+        let one = make_denoising_shards(&srcs, &tgts, 16, 0, 1, 2, 0, 77);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].src.b, 5);
+        assert_eq!(one[0].seed, 77);
+        // weight counts targets + EOS, no padding
+        assert_eq!(one[0].weight, 5 * 3);
+
+        // micro_batch = 2 over 5 examples: shards of 2, 2, 1
+        let shards = make_denoising_shards(&srcs, &tgts, 16, 0, 1, 2, 2, 77);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(
+            shards.iter().map(|s| s.src.b).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+        assert_eq!(shards[0].seed, 77);
+        assert_ne!(shards[1].seed, shards[0].seed);
+        // decoder input starts with BOS; targets end with EOS
+        assert_eq!(shards[0].tgt_in.ids[0], 1);
+        assert_eq!(shards[0].tgt_out[2], 2);
+        // shard decomposition covers the batch in order
+        let total: usize = shards.iter().map(|s| s.src.b).sum();
+        assert_eq!(total, 5);
     }
 
     #[test]

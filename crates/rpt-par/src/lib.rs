@@ -1,0 +1,410 @@
+//! # rpt-par
+//!
+//! A std-only, zero-external-dependency scoped thread pool for the RPT
+//! workspace, built for **deterministic** data parallelism: every helper in
+//! this crate distributes *which* thread computes each task, never *what*
+//! is computed or in what order results are combined. Callers that
+//! (a) give each task a disjoint output slot and (b) reduce task results in
+//! task-index order get bit-identical results for any thread count —
+//! the property the training-equivalence suite (`tests/parallel_equivalence.rs`)
+//! locks down.
+//!
+//! ## Sizing
+//!
+//! [`ThreadPool::global`] reads the `RPT_THREADS` environment variable once:
+//!
+//! * unset / empty / `"1"` → 1 thread (the caller only; existing
+//!   single-threaded behaviour is unchanged),
+//! * `"0"` or `"auto"` → [`std::thread::available_parallelism`],
+//! * `N` → exactly `N` threads.
+//!
+//! Explicit pools ([`ThreadPool::new`]) are used by tests to compare thread
+//! counts inside one process.
+//!
+//! ## Execution model
+//!
+//! A pool with `n` threads owns `n - 1` parked worker threads; the calling
+//! thread always participates as the `n`-th worker, so `ThreadPool::new(1)`
+//! never context-switches. Tasks are claimed from a shared atomic counter
+//! (dynamic load balancing); the scoped entry points wait on a latch before
+//! returning, which is what makes lending non-`'static` closures to the
+//! workers sound.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A boxed unit of work shipped to a worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counts outstanding workers; the scope owner blocks until it hits zero.
+struct Latch {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            remaining: Mutex::new(count),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut r = self.remaining.lock().unwrap();
+        *r -= 1;
+        if *r == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut r = self.remaining.lock().unwrap();
+        while *r > 0 {
+            r = self.cv.wait(r).unwrap();
+        }
+    }
+}
+
+/// A fixed-size pool of parked worker threads with scoped, deterministic
+/// parallel iteration helpers. See the crate docs for the model.
+pub struct ThreadPool {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool that runs scoped sections on `threads` threads
+    /// (`threads - 1` spawned workers plus the calling thread). `0` is
+    /// treated as `1`.
+    pub fn new(threads: usize) -> Self {
+        let workers = threads.max(1) - 1;
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let handle = std::thread::Builder::new()
+                .name(format!("rpt-par-{i}"))
+                .spawn(move || {
+                    // Jobs are pre-wrapped in catch_unwind; a disconnect
+                    // (pool drop) ends the loop.
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("rpt-par: failed to spawn worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self { senders, handles }
+    }
+
+    /// The process-wide pool, sized from `RPT_THREADS` on first use.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadPool::new(threads_from_env(std::env::var("RPT_THREADS").ok().as_deref())))
+    }
+
+    /// Number of threads a scoped section runs on (workers + caller).
+    pub fn num_threads(&self) -> usize {
+        self.senders.len() + 1
+    }
+
+    /// Runs `f(0), f(1), …, f(tasks - 1)` across the pool and returns once
+    /// all calls finished. Task order across threads is unspecified; callers
+    /// obtain determinism by writing to disjoint, task-indexed outputs.
+    ///
+    /// # Panics
+    /// Propagates a panic if any task panicked (the remaining tasks still
+    /// drain first so the scope stays sound).
+    pub fn for_each(&self, tasks: usize, f: impl Fn(usize) + Sync) {
+        self.run(tasks, &f);
+    }
+
+    /// Object-safe core of [`ThreadPool::for_each`].
+    pub fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        let workers = self.senders.len().min(tasks.saturating_sub(1));
+        if workers == 0 {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+
+        let next = Arc::new(AtomicUsize::new(0));
+        let latch = Arc::new(Latch::new(workers));
+        let worker_panicked = Arc::new(AtomicBool::new(false));
+        // SAFETY: `run` waits on `latch` (counted down by every dispatched
+        // job, panic or not) before returning, so the borrow of `f` strictly
+        // outlives every use on the worker threads.
+        let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        for tx in &self.senders[..workers] {
+            let next = Arc::clone(&next);
+            let latch = Arc::clone(&latch);
+            let panicked = Arc::clone(&worker_panicked);
+            let job: Job = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks {
+                        break;
+                    }
+                    f_static(i);
+                }));
+                if result.is_err() {
+                    panicked.store(true, Ordering::SeqCst);
+                }
+                latch.count_down();
+            });
+            tx.send(job).expect("rpt-par: worker thread is gone");
+        }
+        // The caller participates instead of blocking idle.
+        let own = catch_unwind(AssertUnwindSafe(|| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= tasks {
+                break;
+            }
+            f(i);
+        }));
+        latch.wait();
+        if let Err(payload) = own {
+            resume_unwind(payload);
+        }
+        if worker_panicked.load(Ordering::SeqCst) {
+            panic!("rpt-par: a parallel task panicked on a worker thread");
+        }
+    }
+
+    /// Parallel map: returns `[f(0), …, f(tasks - 1)]` in task order, no
+    /// matter which thread computed which entry.
+    pub fn map<R: Send>(&self, tasks: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(tasks);
+        slots.resize_with(tasks, || None);
+        let base = SendPtr(slots.as_mut_ptr());
+        self.run(tasks, &|i| {
+            // SAFETY: each task writes only slot `i`; slots outlive `run`.
+            unsafe { *base.get().add(i) = Some(f(i)) };
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("rpt-par: map slot unfilled"))
+            .collect()
+    }
+
+    /// Splits `data` into consecutive chunks of `chunk_len` (the last may be
+    /// shorter) and runs `f(chunk_index, chunk)` for each in parallel.
+    /// Chunks are disjoint, so any thread count computes the same output.
+    pub fn chunks_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        f: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        assert!(chunk_len > 0, "chunks_mut: chunk_len must be positive");
+        let ranges: Vec<(usize, usize)> = (0..data.len())
+            .step_by(chunk_len)
+            .map(|s| (s, (s + chunk_len).min(data.len())))
+            .collect();
+        let base = SendPtr(data.as_mut_ptr());
+        self.run(ranges.len(), &|i| {
+            let (s, e) = ranges[i];
+            // SAFETY: ranges are pairwise disjoint sub-slices of `data`,
+            // which outlives `run`.
+            let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(s), e - s) };
+            f(i, chunk);
+        });
+    }
+
+    /// Runs two closures, potentially in parallel, returning both results.
+    pub fn join<RA: Send, RB: Send>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB) {
+        let a = Mutex::new(Some(a));
+        let b = Mutex::new(Some(b));
+        let ra = Mutex::new(None);
+        let rb = Mutex::new(None);
+        self.run(2, &|i| {
+            if i == 0 {
+                let f = a.lock().unwrap().take().expect("join task a taken twice");
+                *ra.lock().unwrap() = Some(f());
+            } else {
+                let f = b.lock().unwrap().take().expect("join task b taken twice");
+                *rb.lock().unwrap() = Some(f());
+            }
+        });
+        (
+            ra.into_inner().unwrap().expect("join task a never ran"),
+            rb.into_inner().unwrap().expect("join task b never ran"),
+        )
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // disconnect: workers exit their recv loop
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Raw-pointer wrapper so disjoint-slot writers can be shared across the
+/// pool. Soundness is each call site's obligation (disjointness + lifetime).
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the raw pointer.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Parses an `RPT_THREADS` value into a thread count. Pure, for testability:
+/// `None`/empty → 1; `"0"`/`"auto"` → available parallelism; `N` → `N`;
+/// anything unparsable → 1.
+pub fn threads_from_env(value: Option<&str>) -> usize {
+    match value.map(str::trim) {
+        None | Some("") => 1,
+        Some("0") | Some("auto") => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Some(v) => v.parse::<usize>().unwrap_or(1).max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn threads_from_env_parses() {
+        assert_eq!(threads_from_env(None), 1);
+        assert_eq!(threads_from_env(Some("")), 1);
+        assert_eq!(threads_from_env(Some("3")), 3);
+        assert_eq!(threads_from_env(Some(" 8 ")), 8);
+        assert_eq!(threads_from_env(Some("banana")), 1);
+        assert!(threads_from_env(Some("auto")) >= 1);
+        assert!(threads_from_env(Some("0")) >= 1);
+    }
+
+    #[test]
+    fn for_each_covers_every_task_exactly_once() {
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            pool.for_each(100, |i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_is_identical_for_any_thread_count() {
+        let expected: Vec<u64> = (0..257u64).map(|i| i * i + 1).collect();
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let got = pool.map(257, |i| (i as u64) * (i as u64) + 1);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_partitions_disjointly_and_deterministically() {
+        let mut reference: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        for x in reference.iter_mut() {
+            *x = x.sin() * 2.0;
+        }
+        for threads in [1, 3, 4] {
+            let pool = ThreadPool::new(threads);
+            let mut data: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+            pool.chunks_mut(&mut data, 17, |_ci, chunk| {
+                for x in chunk.iter_mut() {
+                    *x = x.sin() * 2.0;
+                }
+            });
+            assert_eq!(
+                data.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_index_matches_offset() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 103];
+        pool.chunks_mut(&mut data, 10, |ci, chunk| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = ci * 10 + j;
+            }
+        });
+        let expected: Vec<usize> = (0..103).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let pool = ThreadPool::new(2);
+        let counter = AtomicU64::new(0);
+        let (a, b) = pool.join(
+            || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                "left"
+            },
+            || {
+                counter.fetch_add(2, Ordering::SeqCst);
+                42
+            },
+        );
+        assert_eq!((a, b), ("left", 42));
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_section() {
+        let pool = ThreadPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each(16, |i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // the pool is still usable afterwards
+        let sums = pool.map(8, |i| i + 1);
+        assert_eq!(sums, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        let pool = ThreadPool::new(3);
+        pool.for_each(0, |_| panic!("must not run"));
+        assert!(pool.map(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn global_pool_defaults_to_one_thread_without_env() {
+        // The test environment does not set RPT_THREADS, so the global pool
+        // must keep the repo's single-threaded default behaviour. (If a
+        // verify harness sets RPT_THREADS, accept its value instead.)
+        let expected = threads_from_env(std::env::var("RPT_THREADS").ok().as_deref());
+        assert_eq!(ThreadPool::global().num_threads(), expected);
+    }
+}

@@ -31,7 +31,11 @@ impl ParamId {
 }
 
 /// Owns named parameter tensors and their binding to the current tape.
-#[derive(Default)]
+///
+/// `Clone` is cheap-ish (tensors are `Arc`-backed; only names and the
+/// binding table are deep-copied) and is how data-parallel workers get an
+/// independent per-tape binding state over shared frozen values.
+#[derive(Default, Clone)]
 pub struct ParamStore {
     names: Vec<String>,
     values: Vec<Tensor>,

@@ -214,26 +214,37 @@ impl Tensor {
         self.data.iter().any(|x| !x.is_finite())
     }
 
-    /// Matrix product of 2-d tensors: `[m,k] x [k,n] -> [m,n]`.
-    ///
-    /// Uses an ikj loop order (row-major friendly) which is adequate for the
-    /// small matrices this library targets.
+    /// Matrix product of 2-d tensors: `[m,k] x [k,n] -> [m,n]`, partitioning
+    /// output rows across the global [`rpt_par`] pool. Bit-identical for any
+    /// thread count: each row's arithmetic is self-contained.
     pub fn matmul2d(&self, other: &Tensor) -> Tensor {
+        self.matmul2d_with(other, rpt_par::ThreadPool::global())
+    }
+
+    /// [`Tensor::matmul2d`] on an explicit pool (servers with dedicated
+    /// pools; the thread-count equivalence tests).
+    pub fn matmul2d_with(&self, other: &Tensor, pool: &rpt_par::ThreadPool) -> Tensor {
         assert_eq!(self.ndim(), 2, "matmul2d lhs must be 2-d, got {:?}", self.shape);
         assert_eq!(other.ndim(), 2, "matmul2d rhs must be 2-d, got {:?}", other.shape);
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul2d inner dims differ: {:?} x {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; m * n];
-        matmul_kernel(&self.data, &other.data, &mut out, m, k, n);
+        matmul_batched(pool, &self.data, &other.data, &mut out, 1, m, k, n);
         Tensor {
             data: Arc::new(out),
             shape: vec![m, n],
         }
     }
 
-    /// Batched matrix product of 3-d tensors: `[b,m,k] x [b,k,n] -> [b,m,n]`.
+    /// Batched matrix product of 3-d tensors: `[b,m,k] x [b,k,n] -> [b,m,n]`,
+    /// partitioning the `b * m` output rows across the global pool.
     pub fn bmm(&self, other: &Tensor) -> Tensor {
+        self.bmm_with(other, rpt_par::ThreadPool::global())
+    }
+
+    /// [`Tensor::bmm`] on an explicit pool.
+    pub fn bmm_with(&self, other: &Tensor, pool: &rpt_par::ThreadPool) -> Tensor {
         assert_eq!(self.ndim(), 3, "bmm lhs must be 3-d, got {:?}", self.shape);
         assert_eq!(other.ndim(), 3, "bmm rhs must be 3-d, got {:?}", other.shape);
         let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
@@ -241,16 +252,7 @@ impl Tensor {
         assert_eq!(b, b2, "bmm batch dims differ: {:?} x {:?}", self.shape, other.shape);
         assert_eq!(k, k2, "bmm inner dims differ: {:?} x {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; b * m * n];
-        for i in 0..b {
-            matmul_kernel(
-                &self.data[i * m * k..(i + 1) * m * k],
-                &other.data[i * k * n..(i + 1) * k * n],
-                &mut out[i * m * n..(i + 1) * m * n],
-                m,
-                k,
-                n,
-            );
-        }
+        matmul_batched(pool, &self.data, &other.data, &mut out, b, m, k, n);
         Tensor {
             data: Arc::new(out),
             shape: vec![b, m, n],
@@ -338,25 +340,71 @@ pub(crate) fn softmax_row(row: &mut [f32]) {
     }
 }
 
-/// Row-major matmul kernel `out[m,n] += a[m,k] * b[k,n]` (out must be zeroed).
-/// ikj order keeps the inner loop streaming over contiguous memory.
-pub(crate) fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += av * bv;
-            }
+/// One output row of a matmul: `out_row[n] += a_row[k] · b[k,n]`.
+/// kj order keeps the inner loop streaming over contiguous memory. This is
+/// the unit of parallel work — a row is always computed by exactly one
+/// thread with this exact operation order, so the full product is
+/// bit-identical for every thread count.
+#[inline]
+pub(crate) fn matmul_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], n: usize) {
+    for (kk, &av) in a_row.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+            *o += av * bv;
         }
     }
+}
+
+/// Below this many multiply-adds the dispatch overhead outweighs the win
+/// and the product runs on the calling thread.
+const PAR_MIN_MADDS: usize = 16 * 1024;
+
+/// Batched matmul `out[b,m,n] = a[b,m,k] x bmat[b,k,n]` with the `b * m`
+/// output rows partitioned into contiguous per-thread chunks. `b == 1`
+/// degenerates to a plain 2-d product.
+fn matmul_batched(
+    pool: &rpt_par::ThreadPool,
+    a: &[f32],
+    bmat: &[f32],
+    out: &mut [f32],
+    b: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), b * m * k);
+    debug_assert_eq!(bmat.len(), b * k * n);
+    debug_assert_eq!(out.len(), b * m * n);
+    let rows = b * m;
+    if rows == 0 || n == 0 {
+        return;
+    }
+    let row_of = |r: usize, chunk: &mut [f32]| {
+        let (bi, i) = (r / m, r % m);
+        matmul_row(
+            &a[(bi * m + i) * k..(bi * m + i + 1) * k],
+            &bmat[bi * k * n..(bi + 1) * k * n],
+            chunk,
+            n,
+        );
+    };
+    let threads = pool.num_threads();
+    if threads == 1 || rows * k * n < PAR_MIN_MADDS {
+        for (r, chunk) in out.chunks_mut(n).enumerate() {
+            row_of(r, chunk);
+        }
+        return;
+    }
+    let rows_per_chunk = rows.div_ceil(threads);
+    pool.chunks_mut(out, rows_per_chunk * n, |ci, chunk| {
+        let r0 = ci * rows_per_chunk;
+        for (j, out_row) in chunk.chunks_mut(n).enumerate() {
+            row_of(r0 + j, out_row);
+        }
+    });
 }
 
 #[cfg(test)]
@@ -438,6 +486,27 @@ mod tests {
         let g = w.gather_rows(&[2, 0, 2]);
         assert_eq!(g.shape(), &[3, 2]);
         assert_eq!(g.data(), &[2.0, 2.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_and_bmm_bit_identical_across_thread_counts() {
+        use crate::init;
+        use rpt_rng::{SeedableRng, SmallRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        // large enough to cross the parallel dispatch threshold
+        let a = init::normal(&[96, 80], 1.0, &mut rng);
+        let b = init::normal(&[80, 72], 1.0, &mut rng);
+        let a3 = init::normal(&[6, 40, 32], 1.0, &mut rng);
+        let b3 = init::normal(&[6, 32, 48], 1.0, &mut rng);
+        let bits = |t: &Tensor| t.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        let p1 = rpt_par::ThreadPool::new(1);
+        let ref2d = bits(&a.matmul2d_with(&b, &p1));
+        let ref3d = bits(&a3.bmm_with(&b3, &p1));
+        for threads in [2, 3, 4] {
+            let p = rpt_par::ThreadPool::new(threads);
+            assert_eq!(bits(&a.matmul2d_with(&b, &p)), ref2d, "threads={threads}");
+            assert_eq!(bits(&a3.bmm_with(&b3, &p)), ref3d, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the parallel-determinism gate.
+#
+# 1. Offline release build + full workspace test suite (the tier-1 bar).
+# 2. The equivalence suite re-run with a 4-thread global pool, proving the
+#    data-parallel trainer and parallel matmul kernels are bit-identical
+#    to the serial path when threading is actually on (the suites also
+#    construct explicit pools internally, so this doubles as an env-var
+#    plumbing check for RPT_THREADS).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+
+RPT_THREADS=4 cargo test -q --offline --test parallel_equivalence
+
+echo "verify: OK"

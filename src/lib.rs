@@ -13,6 +13,7 @@ pub use rpt_core as core;
 pub use rpt_datagen as datagen;
 pub use rpt_json as json;
 pub use rpt_nn as nn;
+pub use rpt_par as par;
 pub use rpt_rng as rng;
 pub use rpt_table as table;
 pub use rpt_tensor as tensor;

@@ -7,7 +7,9 @@
 use rpt::core::er::transitive_closure;
 use rpt::nn::metrics::{numeric_closeness, token_f1, BinaryConfusion};
 use rpt::table::{csv, Schema, Table, Value};
-use rpt::tokenizer::{normalize, EncoderOptions, TupleEncoder, Vocab, VocabBuilder};
+use rpt::tokenizer::{
+    normalize, EncoderOptions, TupleEncoder, Vocab, VocabBuilder, ATTR, MASK, NUM_SPECIAL, VAL,
+};
 use rpt_rng::{Rng, SeedableRng, SliceRandom, SmallRng};
 
 /// Cases per property (proptest used 64 for the table-shaped ones).
@@ -103,6 +105,125 @@ fn tuple_encoding_invariants() {
                 assert_eq!(
                     &e.ids[e.value_spans[0].1.clone()],
                     target.as_slice(),
+                    "case {case}"
+                );
+            }
+        }
+    }
+}
+
+/// Encode → decode round-trip: with a vocabulary covering the corpus and
+/// no truncation, decoding a serialized tuple recovers exactly the
+/// normalized text of every non-null `name value` pair, in schema order —
+/// and each value span decodes back to its own value.
+#[test]
+fn tuple_encode_decode_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x20D3);
+    for case in 0..CASES {
+        let table = arb_table(&mut rng);
+        let vocab = vocab_for(&table);
+        let enc = TupleEncoder::new(
+            vocab.clone(),
+            EncoderOptions {
+                max_len: 4096, // no truncation: every token survives
+                ..Default::default()
+            },
+        );
+        for tuple in table.tuples() {
+            let e = enc.encode_tuple(table.schema(), tuple);
+            let mut expected: Vec<String> = Vec::new();
+            for c in 0..table.schema().arity() {
+                let v = tuple.get(c);
+                if v.is_null() {
+                    continue;
+                }
+                expected.extend(normalize(table.schema().name(c)));
+                expected.extend(normalize(&v.render()));
+            }
+            assert_eq!(
+                vocab.decode(&e.ids),
+                expected.join(" "),
+                "case {case}: full-tuple decode diverged"
+            );
+            for (c, range) in &e.value_spans {
+                assert_eq!(
+                    vocab.decode(&e.ids[range.clone()]),
+                    normalize(&tuple.get(*c).render()).join(" "),
+                    "case {case}: span decode diverged for column {c}"
+                );
+            }
+        }
+    }
+}
+
+/// `[A]`/`[V]` serialization invariants (paper Fig. 4 layout): one marker
+/// pair per serialized attribute, every value span sits directly after its
+/// `[V]`, column ids are uniform inside a block, and masking keeps the
+/// markers intact.
+#[test]
+fn attr_value_marker_invariants() {
+    let mut rng = SmallRng::seed_from_u64(0xA7A7);
+    for case in 0..CASES {
+        let table = arb_table(&mut rng);
+        let vocab = vocab_for(&table);
+        let enc = TupleEncoder::new(
+            vocab.clone(),
+            EncoderOptions {
+                max_len: 4096,
+                ..Default::default()
+            },
+        );
+        for tuple in table.tuples() {
+            let e = enc.encode_tuple(table.schema(), tuple);
+            let non_null = (0..table.schema().arity())
+                .filter(|&c| !tuple.get(c).is_null())
+                .count();
+            let attrs = e.ids.iter().filter(|&&t| t == ATTR).count();
+            let vals = e.ids.iter().filter(|&&t| t == VAL).count();
+            assert_eq!(attrs, non_null, "case {case}: one [A] per attribute");
+            assert_eq!(vals, non_null, "case {case}: one [V] per attribute");
+            // serialization starts with [A] whenever anything was emitted
+            if !e.ids.is_empty() {
+                assert_eq!(e.ids[0], ATTR, "case {case}");
+            }
+            for (c, range) in &e.value_spans {
+                assert!(range.start > 0, "case {case}");
+                assert_eq!(
+                    e.ids[range.start - 1],
+                    VAL,
+                    "case {case}: span must follow its [V] marker"
+                );
+                // value tokens are real vocabulary, never specials
+                assert!(
+                    e.ids[range.clone()].iter().all(|&t| t >= NUM_SPECIAL),
+                    "case {case}"
+                );
+                // marker carries the same column id as its value
+                assert_eq!(e.cols[range.start - 1], c + 1, "case {case}");
+            }
+            // masking a span preserves the marker structure
+            for span_idx in 0..e.value_spans.len() {
+                let (masked, target) = e.mask_value_span(span_idx);
+                assert_eq!(
+                    masked.ids.iter().filter(|&&t| t == ATTR).count(),
+                    attrs,
+                    "case {case}: masking must not eat [A] markers"
+                );
+                assert_eq!(
+                    masked.ids.iter().filter(|&&t| t == VAL).count(),
+                    vals,
+                    "case {case}: masking must not eat [V] markers"
+                );
+                assert_eq!(
+                    masked.ids.iter().filter(|&&t| t == MASK).count(),
+                    1,
+                    "case {case}: infilling inserts exactly one [M]"
+                );
+                // decoding the target recovers the masked value's text
+                let (c, _) = e.value_spans[span_idx];
+                assert_eq!(
+                    vocab.decode(&target),
+                    normalize(&tuple.get(c).render()).join(" "),
                     "case {case}"
                 );
             }
