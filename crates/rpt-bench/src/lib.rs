@@ -103,16 +103,22 @@ pub fn evaluate_scorer(
     conf
 }
 
-/// Writes a JSON artifact under the workspace-root `bench_results/`,
-/// creating the directory. Anchored to the manifest rather than the cwd
+/// Writes a JSON artifact under `$RPT_BENCH_DIR`, or, when that is unset or
+/// empty, under the workspace-root `bench_results/`; the directory is
+/// created. The fallback is anchored to the manifest rather than the cwd
 /// because `cargo run` and `cargo bench` start binaries in different
-/// directories.
+/// directories — but the manifest path is baked in at compile time, so a
+/// binary run from a moved checkout or another machine needs the runtime
+/// override.
 pub fn write_artifact(name: &str, value: &rpt_json::Json) {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("workspace root");
-    let dir = root.join("bench_results");
+    let dir = match std::env::var_os("RPT_BENCH_DIR") {
+        Some(d) if !d.is_empty() => std::path::PathBuf::from(d),
+        _ => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .join("bench_results"),
+    };
     let dir = dir.as_path();
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("warning: cannot create {dir:?}: {e}");

@@ -29,12 +29,42 @@
 //! (dynamic load balancing); the scoped entry points wait on a latch before
 //! returning, which is what makes lending non-`'static` closures to the
 //! workers sound.
+//!
+//! ## Nesting
+//!
+//! A task that starts another parallel section — e.g. a data-parallel
+//! training shard whose forward pass calls a parallel matmul on the same
+//! pool — runs that inner section **serially on its own thread**. Without
+//! this, a worker would enqueue inner jobs onto its own (suspended) recv
+//! loop and then block on the latch waiting for them: a deadlock. Serial
+//! fallback keeps every nested configuration live, and determinism is
+//! unaffected because serial order *is* task-index order.
 
+use std::any::Any;
+use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+thread_local! {
+    /// True while this thread is executing tasks inside a parallel section
+    /// (as a pool worker or as the participating caller). Checked by
+    /// [`ThreadPool::run`] to divert re-entrant sections to serial
+    /// execution instead of deadlocking on the thread's own job queue.
+    static IN_PARALLEL_SECTION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `body` with the re-entrancy flag set, restoring the previous value
+/// even when `body` panics (the panic is returned, not propagated, so the
+/// caller can route the payload through its latch protocol first).
+fn in_section<R>(body: impl FnOnce() -> R) -> std::thread::Result<R> {
+    let prev = IN_PARALLEL_SECTION.with(|c| c.replace(true));
+    let result = catch_unwind(AssertUnwindSafe(body));
+    IN_PARALLEL_SECTION.with(|c| c.set(prev));
+    result
+}
 
 /// A boxed unit of work shipped to a worker thread.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -129,7 +159,14 @@ impl ThreadPool {
         if tasks == 0 {
             return;
         }
-        let workers = self.senders.len().min(tasks.saturating_sub(1));
+        // Re-entrant sections run serially on the current thread (see the
+        // "Nesting" crate docs): a worker dispatching to its own suspended
+        // recv loop and then waiting on the latch would deadlock.
+        let workers = if IN_PARALLEL_SECTION.with(|c| c.get()) {
+            0
+        } else {
+            self.senders.len().min(tasks.saturating_sub(1))
+        };
         if workers == 0 {
             for i in 0..tasks {
                 f(i);
@@ -139,45 +176,63 @@ impl ThreadPool {
 
         let next = Arc::new(AtomicUsize::new(0));
         let latch = Arc::new(Latch::new(workers));
-        let worker_panicked = Arc::new(AtomicBool::new(false));
-        // SAFETY: `run` waits on `latch` (counted down by every dispatched
-        // job, panic or not) before returning, so the borrow of `f` strictly
-        // outlives every use on the worker threads.
+        let worker_panic: Arc<Mutex<Option<Box<dyn Any + Send>>>> = Arc::new(Mutex::new(None));
+        // SAFETY: `run` waits on `latch` before returning on every path —
+        // each dispatched job counts it down (panic or not), and a job that
+        // fails to send is counted down immediately below, never unwinding
+        // past the wait — so the borrow of `f` strictly outlives every use
+        // on the worker threads.
         let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let mut dispatch_failed = false;
         for tx in &self.senders[..workers] {
             let next = Arc::clone(&next);
-            let latch = Arc::clone(&latch);
-            let panicked = Arc::clone(&worker_panicked);
+            let job_latch = Arc::clone(&latch);
+            let panic_slot = Arc::clone(&worker_panic);
             let job: Job = Box::new(move || {
-                let result = catch_unwind(AssertUnwindSafe(|| loop {
+                let result = in_section(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= tasks {
                         break;
                     }
                     f_static(i);
-                }));
-                if result.is_err() {
-                    panicked.store(true, Ordering::SeqCst);
+                });
+                if let Err(payload) = result {
+                    let mut slot = panic_slot.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
                 }
-                latch.count_down();
+                job_latch.count_down();
             });
-            tx.send(job).expect("rpt-par: worker thread is gone");
+            if tx.send(job).is_err() {
+                // The worker is gone and its job was dropped unrun: release
+                // the latch slot here so the wait below still terminates.
+                // Its tasks are picked up by the surviving threads via the
+                // shared counter; the breach is reported only after the
+                // scope is quiescent.
+                latch.count_down();
+                dispatch_failed = true;
+            }
         }
         // The caller participates instead of blocking idle.
-        let own = catch_unwind(AssertUnwindSafe(|| loop {
+        let own = in_section(|| loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= tasks {
                 break;
             }
             f(i);
-        }));
+        });
         latch.wait();
         if let Err(payload) = own {
             resume_unwind(payload);
         }
-        if worker_panicked.load(Ordering::SeqCst) {
-            panic!("rpt-par: a parallel task panicked on a worker thread");
+        if let Some(payload) = worker_panic.lock().unwrap().take() {
+            resume_unwind(payload);
         }
+        assert!(
+            !dispatch_failed,
+            "rpt-par: a worker thread died; its tasks ran on the surviving threads"
+        );
     }
 
     /// Parallel map: returns `[f(0), …, f(tasks - 1)]` in task order, no
@@ -390,6 +445,58 @@ mod tests {
         // the pool is still usable afterwards
         let sums = pool.map(8, |i| i + 1);
         assert_eq!(sums, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn nested_sections_on_the_same_pool_complete_and_match_serial() {
+        // Regression: before re-entrancy detection, a worker executing an
+        // outer task would enqueue inner jobs onto its own suspended recv
+        // loop and deadlock in latch.wait(). The inner sections now run
+        // serially on the claiming thread, so this must terminate and the
+        // result must be the serial answer for any thread count.
+        let expected: Vec<u64> = (0..8u64)
+            .map(|i| (0..16u64).map(|j| i * 16 + j).sum())
+            .collect();
+        for threads in [2, 4] {
+            let pool = ThreadPool::new(threads);
+            let sums = pool.map(8, |i| {
+                pool.map(16, |j| (i * 16 + j) as u64).iter().sum::<u64>()
+            });
+            assert_eq!(sums, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn nested_chunks_mut_does_not_deadlock() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0u64; 64];
+        pool.chunks_mut(&mut data, 16, |ci, chunk| {
+            let scaled = pool.map(chunk.len(), |j| (ci * 16 + j) as u64 * 3);
+            chunk.copy_from_slice(&scaled);
+        });
+        let expected: Vec<u64> = (0..64u64).map(|i| i * 3).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn panic_payload_is_preserved() {
+        // The original assertion message must survive the trip across the
+        // pool whether the panicking task landed on a worker or the caller.
+        let pool = ThreadPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each(64, |i| {
+                if i == 33 {
+                    panic!("boom at task {i}");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        assert!(msg.contains("boom at task 33"), "payload lost: {msg:?}");
     }
 
     #[test]

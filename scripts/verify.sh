@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
-cargo test -q --offline
+cargo test -q --offline --workspace
 
 RPT_THREADS=4 cargo test -q --offline --test parallel_equivalence
 

@@ -1,0 +1,66 @@
+//! Regression: `denoising_step` runs micro-batch shards on the *global*
+//! pool while each shard's forward/backward dispatches its matmuls to the
+//! same pool. Before `rpt-par` gained re-entrancy detection, a worker
+//! executing a shard would enqueue a matmul job onto its own suspended
+//! recv loop and then block on the latch — a deadlock in exactly the
+//! feature's advertised configuration (`RPT_THREADS > 1`, `micro_batch > 0`).
+//!
+//! This file holds a single test so it owns the process: the env var must
+//! be set before the first use of `ThreadPool::global()`.
+
+use rpt::core::cleaning::{CleaningConfig, RptC};
+use rpt::core::train::{TrainOpts, Trainer};
+use rpt::core::vocabulary::build_vocab;
+use rpt::datagen::standard_benchmarks;
+use rpt::par::ThreadPool;
+use rpt::table::Table;
+use rpt_rng::{Rng, SeedableRng, SmallRng};
+
+#[test]
+fn denoising_step_on_multithreaded_global_pool_completes() {
+    std::env::set_var("RPT_THREADS", "4");
+    assert_eq!(
+        ThreadPool::global().num_threads(),
+        4,
+        "global pool must pick up RPT_THREADS before first use"
+    );
+
+    let mut rng = SmallRng::seed_from_u64(6);
+    let (_u, benches) = standard_benchmarks(20, &mut rng);
+    let tables: Vec<&Table> = vec![&benches[0].table_a, &benches[0].table_b];
+    let vocab = build_vocab(&tables, &[], 1, 4000);
+
+    let mut cfg = CleaningConfig::tiny();
+    cfg.train = TrainOpts {
+        steps: 3,
+        batch_size: 6,
+        micro_batch: 2, // 3 shards per step: shards nest matmuls on the pool
+        warmup: 2,
+        peak_lr: 3e-3,
+        ..Default::default()
+    };
+
+    let mut model = RptC::new(vocab, cfg.clone());
+    let mut trainer = Trainer::new(cfg.train.clone(), cfg.model.d_model);
+    let mut data_rng = SmallRng::seed_from_u64(123);
+    while !trainer.finished() {
+        let mut srcs = Vec::with_capacity(cfg.train.batch_size);
+        let mut tgts = Vec::with_capacity(cfg.train.batch_size);
+        let mut guard = 0;
+        while srcs.len() < cfg.train.batch_size && guard < cfg.train.batch_size * 50 {
+            guard += 1;
+            let ti = data_rng.gen_range(0..tables.len());
+            let ri = data_rng.gen_range(0..tables[ti].len());
+            if let Some((src, tgt)) =
+                model.training_pair(tables[ti].schema(), tables[ti].row(ri), None, &mut data_rng)
+            {
+                srcs.push(src);
+                tgts.push(tgt);
+            }
+        }
+        assert!(!srcs.is_empty(), "corpus produced no training pairs");
+        let loss = model.denoising_step(&srcs, &tgts, &mut trainer);
+        assert!(loss.is_finite(), "loss went non-finite: {loss}");
+    }
+    assert_eq!(trainer.losses().len(), cfg.train.steps);
+}
