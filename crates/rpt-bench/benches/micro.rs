@@ -13,17 +13,35 @@ use std::time::{Duration, Instant};
 use rpt_baselines::ZeroEr;
 use rpt_core::er::Blocker;
 use rpt_datagen::standard_benchmarks;
-use rpt_nn::{Ctx, MultiHeadAttention, Sequence, TokenBatch};
+use rpt_nn::{
+    beam_search, beam_search_reference, greedy_decode, greedy_decode_reference, BeamConfig, Ctx,
+    MultiHeadAttention, Seq2Seq, Sequence, TokenBatch, TransformerConfig,
+};
 use rpt_rng::{SeedableRng, SmallRng};
 use rpt_table::TableProfile;
 use rpt_tensor::{init, ParamStore, Tape, Tensor};
 use rpt_tokenizer::{EncoderOptions, TupleEncoder, VocabBuilder};
 
 /// Mirrors the old criterion config: 20 samples, ~2 s measurement,
-/// ~500 ms warm-up.
+/// ~500 ms warm-up. Setting `RPT_BENCH_FAST` (any value) shrinks this to a
+/// smoke run (5 samples, ~200 ms) so CI can exercise the harness and the
+/// artifact schema without paying full measurement time.
 const SAMPLES: usize = 20;
 const MEASURE: Duration = Duration::from_secs(2);
 const WARM_UP: Duration = Duration::from_millis(500);
+
+fn fast_mode() -> bool {
+    static FAST: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FAST.get_or_init(|| std::env::var_os("RPT_BENCH_FAST").is_some())
+}
+
+fn harness_params() -> (usize, Duration, Duration) {
+    if fast_mode() {
+        (5, Duration::from_millis(200), Duration::from_millis(50))
+    } else {
+        (SAMPLES, MEASURE, WARM_UP)
+    }
+}
 
 fn human(d: Duration) -> String {
     let ns = d.as_nanos();
@@ -42,18 +60,19 @@ fn human(d: Duration) -> String {
 /// Returns the median per-iteration time so callers can derive ratios
 /// (e.g. the thread-scaling artifact).
 fn bench_function(name: &str, mut f: impl FnMut()) -> Duration {
+    let (n_samples, measure, warm_up) = harness_params();
     // warm-up, and estimate how many iterations fill a sample
     let warm_start = Instant::now();
     let mut iters_done = 0u64;
-    while warm_start.elapsed() < WARM_UP {
+    while warm_start.elapsed() < warm_up {
         f();
         iters_done += 1;
     }
     let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
-    let per_sample = MEASURE.as_secs_f64() / SAMPLES as f64;
+    let per_sample = measure.as_secs_f64() / n_samples as f64;
     let iters = ((per_sample / per_iter).ceil() as u64).max(1);
 
-    let mut samples: Vec<Duration> = (0..SAMPLES)
+    let mut samples: Vec<Duration> = (0..n_samples)
         .map(|_| {
             let t0 = Instant::now();
             for _ in 0..iters {
@@ -65,11 +84,11 @@ fn bench_function(name: &str, mut f: impl FnMut()) -> Duration {
     samples.sort_unstable();
     println!(
         "{name:<34} {:>12} [{} .. {}]  ({iters} iters/sample)",
-        human(samples[SAMPLES / 2]),
+        human(samples[n_samples / 2]),
         human(samples[0]),
-        human(samples[SAMPLES - 1]),
+        human(samples[n_samples - 1]),
     );
-    samples[SAMPLES / 2]
+    samples[n_samples / 2]
 }
 
 fn bench_matmul() {
@@ -239,11 +258,112 @@ fn bench_parallel() {
     rpt_bench::write_artifact("bench_parallel", &rpt_json::Json::Object(root));
 }
 
+/// Decode throughput: KV-cached incremental decoding vs. the full-prefix
+/// reference recompute, greedy and beam (width 4), at the default
+/// Table-1-scale model shape (d=64, vocab=1000, 2+2 layers) over a
+/// 24-token source. EOS is set past the vocabulary so every decode runs
+/// the full `max_steps`, making tokens/sec well-defined. Verifies the two
+/// paths emit identical tokens, then writes
+/// `bench_results/bench_decode.json`.
+fn bench_decode() {
+    let cfg = TransformerConfig {
+        max_cols: 0,
+        dropout: 0.0,
+        ..TransformerConfig::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(8);
+    let mut params = ParamStore::new();
+    let model = Seq2Seq::new(&mut params, cfg.clone(), &mut rng);
+    let src_ids: Vec<usize> = (0..24).map(|i| 9 + (i * 7) % 900).collect();
+    let src = TokenBatch::from_sequences(&[Sequence::from_ids(src_ids)], cfg.max_len, 0);
+    const MAX_STEPS: usize = 32;
+    const WIDTH: usize = 4;
+    let (bos, eos) = (1usize, cfg.vocab_size); // eos unreachable by argmax
+    let beam_cfg = BeamConfig {
+        width: WIDTH,
+        max_steps: MAX_STEPS,
+        len_penalty: 1.0,
+    };
+
+    // equivalence sanity check before timing anything
+    let fast = greedy_decode(&model, &mut params, &src, bos, eos, MAX_STEPS);
+    let reference = greedy_decode_reference(&model, &mut params, &src, bos, eos, MAX_STEPS);
+    assert_eq!(fast, reference, "cached greedy diverged from reference");
+    assert_eq!(fast.len(), MAX_STEPS, "eos sentinel must be unreachable");
+
+    fn section(cached: Duration, uncached: Duration, tokens: f64) -> rpt_json::Json {
+        let mut e = rpt_json::Map::new();
+        e.insert(
+            "cached_ns".into(),
+            rpt_json::Json::from(cached.as_nanos() as f64),
+        );
+        e.insert(
+            "uncached_ns".into(),
+            rpt_json::Json::from(uncached.as_nanos() as f64),
+        );
+        e.insert(
+            "cached_tokens_per_sec".into(),
+            rpt_json::Json::from(tokens / cached.as_secs_f64()),
+        );
+        e.insert(
+            "uncached_tokens_per_sec".into(),
+            rpt_json::Json::from(tokens / uncached.as_secs_f64()),
+        );
+        e.insert(
+            "speedup".into(),
+            rpt_json::Json::from(uncached.as_secs_f64() / cached.as_secs_f64()),
+        );
+        rpt_json::Json::Object(e)
+    }
+
+    let g_cached = bench_function("decode/greedy_32steps_cached", || {
+        std::hint::black_box(greedy_decode(&model, &mut params, &src, bos, eos, MAX_STEPS));
+    });
+    let g_uncached = bench_function("decode/greedy_32steps_uncached", || {
+        std::hint::black_box(greedy_decode_reference(
+            &model,
+            &mut params,
+            &src,
+            bos,
+            eos,
+            MAX_STEPS,
+        ));
+    });
+    let greedy = section(g_cached, g_uncached, MAX_STEPS as f64);
+
+    let b_cached = bench_function("decode/beam_w4_32steps_cached", || {
+        std::hint::black_box(beam_search(&model, &mut params, &src, bos, eos, &beam_cfg));
+    });
+    let b_uncached = bench_function("decode/beam_w4_32steps_uncached", || {
+        std::hint::black_box(beam_search_reference(
+            &model,
+            &mut params,
+            &src,
+            bos,
+            eos,
+            &beam_cfg,
+        ));
+    });
+    let beam = section(b_cached, b_uncached, (WIDTH * MAX_STEPS) as f64);
+
+    let mut root = rpt_json::Map::new();
+    root.insert("bench".into(), rpt_json::Json::from("decode_src24_d64_2+2layers"));
+    root.insert(
+        "hardware_threads".into(),
+        rpt_json::Json::from(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
+    );
+    root.insert("max_steps".into(), rpt_json::Json::from(MAX_STEPS as f64));
+    root.insert("beam_width".into(), rpt_json::Json::from(WIDTH as f64));
+    root.insert("greedy".into(), greedy);
+    root.insert("beam".into(), beam);
+    rpt_bench::write_artifact("bench_decode", &rpt_json::Json::Object(root));
+}
+
 fn main() {
     // `cargo bench -- <filter>` runs only groups whose name matches
     // (flags cargo injects, like `--bench`, are skipped)
     let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-    let groups: [(&str, fn()); 8] = [
+    let groups: [(&str, fn()); 9] = [
         ("matmul", bench_matmul),
         ("softmax_layernorm", bench_softmax_layernorm),
         ("attention", bench_attention),
@@ -252,8 +372,10 @@ fn main() {
         ("profiling", bench_profiling),
         ("batching", bench_batching),
         ("parallel", bench_parallel),
+        ("decode", bench_decode),
     ];
-    println!("micro benchmarks: {SAMPLES} samples, ~2s measurement, 500ms warm-up\n");
+    let (samples, measure, warm_up) = harness_params();
+    println!("micro benchmarks: {samples} samples, ~{measure:?} measurement, {warm_up:?} warm-up\n");
     for (name, run) in groups {
         if filter.as_deref().map_or(true, |f| name.contains(f)) {
             run();

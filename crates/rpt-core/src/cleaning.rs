@@ -8,7 +8,10 @@
 //! profiling says are determined by other columns.
 //!
 //! Inference ([`RptC::fill`]) serializes the tuple with the target column
-//! masked and beam-decodes the reconstruction.
+//! masked and beam-decodes the reconstruction on rpt-nn's KV-cached fast
+//! path: the masked tuple is encoded once and every beam hypothesis
+//! advances as one batched, incremental decoder step (see DESIGN.md,
+//! "Inference fast path").
 
 use rpt_rng::SmallRng;
 use rpt_rng::SliceRandom;
@@ -146,6 +149,19 @@ impl RptC {
     /// The tokenizer/serializer.
     pub fn encoder(&self) -> &TupleEncoder {
         &self.encoder
+    }
+
+    /// The underlying seq2seq model (read-only).
+    pub fn model(&self) -> &Seq2Seq {
+        &self.model
+    }
+
+    /// Split borrow of the model and its parameters, as the decode entry
+    /// points want them (`&Seq2Seq` + `&mut ParamStore`) — used by the
+    /// equivalence suite to run the reference decoder against the trained
+    /// denoising model.
+    pub fn decode_parts(&mut self) -> (&Seq2Seq, &mut ParamStore) {
+        (&self.model, &mut self.params)
     }
 
     /// The configuration.

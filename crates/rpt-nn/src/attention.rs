@@ -88,6 +88,78 @@ impl MultiHeadAttention {
         let merged = ctx.tape.merge_heads(out, h); // [b, t_q, d]
         self.o.forward(ctx, merged)
     }
+
+    /// Projects `x_kv` (`[b, t, d]`) through the K and V projections and
+    /// splits heads, returning the raw `[b*h, t, dh]` tensors for a KV
+    /// cache. Row for row this is the same arithmetic [`Self::forward`]
+    /// performs on its key/value side, so cached and uncached attention see
+    /// bit-identical keys and values.
+    pub fn project_kv(&self, ctx: &mut Ctx<'_>, x_kv: Var) -> (Tensor, Tensor) {
+        let h = self.n_heads;
+        let k = self.k.forward(ctx, x_kv);
+        let v = self.v.forward(ctx, x_kv);
+        let kh = ctx.tape.split_heads(k, h);
+        let vh = ctx.tape.split_heads(v, h);
+        (ctx.tape.value(kh), ctx.tape.value(vh))
+    }
+
+    /// Attention from queries `x_q` (`[b, t_q, d]`) over *cached* keys and
+    /// values from [`Self::project_kv`] (`[b*h, t_k, dh]` each). The cached
+    /// operands enter the tape as constants, so this is inference-only: no
+    /// gradient flows to the K/V projections.
+    ///
+    /// Performs exactly the ops of [`Self::forward`] after its K/V
+    /// projections — outputs are bit-identical to an uncached pass over the
+    /// same keys in the same order.
+    pub fn attend_cached(
+        &self,
+        ctx: &mut Ctx<'_>,
+        x_q: Var,
+        k: &Tensor,
+        v: &Tensor,
+        mask: Option<&Tensor>,
+    ) -> Var {
+        let kv = ctx.tape.constant(k.clone());
+        let ktv = ctx.tape.transpose_last(kv); // [b*h, dh, t_k]
+        let kt = ctx.tape.value(ktv);
+        self.attend_cached_kt(ctx, x_q, &kt, v, mask)
+    }
+
+    /// [`Self::attend_cached`] with the keys already transposed to
+    /// `[b*h, dh, t_k]`. Transposition is value-preserving, so callers that
+    /// attend over a *fixed* key set (e.g. cross-attention during
+    /// incremental decoding) can transpose once at cache-build time instead
+    /// of every step without changing a single output bit.
+    pub fn attend_cached_kt(
+        &self,
+        ctx: &mut Ctx<'_>,
+        x_q: Var,
+        kt: &Tensor,
+        v: &Tensor,
+        mask: Option<&Tensor>,
+    ) -> Var {
+        debug_assert!(
+            ctx.tape.is_forward_only(),
+            "attend_cached drops K/V gradients; use forward() on a recording tape"
+        );
+        let h = self.n_heads;
+        let dh = self.d_model / h;
+        let q = self.q.forward(ctx, x_q);
+        let qh = ctx.tape.split_heads(q, h); // [b*h, t_q, dh]
+        let qh = ctx.tape.scale(qh, 1.0 / (dh as f32).sqrt());
+        let kt = ctx.tape.constant(kt.clone());
+        let mut scores = ctx.tape.matmul(qh, kt); // [b*h, t_q, t_k]
+        if let Some(m) = mask {
+            let mv = ctx.tape.constant(m.clone());
+            scores = ctx.tape.add(scores, mv);
+        }
+        let attn = ctx.tape.softmax_last(scores);
+        let attn = ctx.dropout(attn, self.dropout);
+        let vv = ctx.tape.constant(v.clone());
+        let out = ctx.tape.matmul(attn, vv); // [b*h, t_q, dh]
+        let merged = ctx.tape.merge_heads(out, h); // [b, t_q, d]
+        self.o.forward(ctx, merged)
+    }
 }
 
 #[cfg(test)]

@@ -1,14 +1,19 @@
 //! Autoregressive decoding: greedy and beam search over a [`Seq2Seq`].
 //!
-//! Inference rebuilds the graph per call on a single tape (no KV cache);
-//! the value spans RPT-C generates are short (a handful of tokens), so
-//! clarity wins over micro-optimization here.
+//! The public [`greedy_decode`] / [`beam_search`] entry points run the fast
+//! inference path: the source is encoded once, per-layer self/cross K/V are
+//! cached incrementally, and all live beam hypotheses advance as a single
+//! `[width, 1, d]` decoder batch per step on a forward-only tape. The
+//! `*_reference` variants keep the original full-prefix recompute (one
+//! decoder pass over the whole prefix per step) for equivalence testing;
+//! both paths produce bit-identical logits, so token outputs match exactly.
 
 use rpt_rng::SmallRng;
 use rpt_rng::SeedableRng;
 use rpt_tensor::{ParamStore, Tape};
 
 use crate::batch::{Sequence, TokenBatch};
+use crate::metrics::{argmax, log_softmax_row};
 use crate::module::Ctx;
 use crate::seq2seq::Seq2Seq;
 
@@ -33,38 +38,25 @@ impl Default for BeamConfig {
     }
 }
 
-/// Log-softmax of one logits row (host side).
-fn log_softmax_row(row: &[f32]) -> Vec<f32> {
-    let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-    let lse = max + row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
-    row.iter().map(|&x| x - lse).collect()
+/// One scored hypothesis from [`beam_search`].
+#[derive(Debug, Clone)]
+pub struct Hypothesis {
+    /// Generated tokens (without BOS/EOS).
+    pub tokens: Vec<usize>,
+    /// Length-normalized log-probability.
+    pub score: f32,
 }
 
-/// Next-token log-probabilities given the prefix (which starts with BOS).
-fn next_logprobs(
-    model: &Seq2Seq,
-    params: &mut ParamStore,
-    src: &TokenBatch,
-    prefix: &[usize],
-) -> Vec<f32> {
-    let tape = Tape::new();
-    let mut rng = SmallRng::seed_from_u64(0);
-    let mut ctx = Ctx::new(&tape, params, &mut rng, false);
-    let enc = model.encode(&mut ctx, src);
-    let tgt_in = TokenBatch::from_sequences(
-        &[Sequence::from_ids(prefix.to_vec())],
-        model.config().max_len,
-        0,
-    );
-    let logits = model.decode_logits(&mut ctx, &tgt_in, enc, src);
-    let lv = tape.value(logits);
-    let v = model.config().vocab_size;
-    let last = prefix.len() - 1;
-    log_softmax_row(&lv.data()[last * v..(last + 1) * v])
+fn finish(prefix: &[usize], logp: f32, cfg: &BeamConfig) -> Hypothesis {
+    let len = (prefix.len() - 1).max(1) as f32;
+    Hypothesis {
+        tokens: prefix[1..].to_vec(),
+        score: logp / len.powf(cfg.len_penalty),
+    }
 }
 
-/// Greedy decoding of a single source (`src.b == 1`). Returns the generated
-/// token ids (without BOS/EOS).
+/// Greedy decoding of a single source (`src.b == 1`) on the KV-cached fast
+/// path. Returns the generated token ids (without BOS/EOS).
 pub fn greedy_decode(
     model: &Seq2Seq,
     params: &mut ParamStore,
@@ -74,9 +66,11 @@ pub fn greedy_decode(
     max_steps: usize,
 ) -> Vec<usize> {
     assert_eq!(src.b, 1, "greedy_decode expects a single source");
+    let mut state = model.begin_decode(params, src);
     let mut prefix = vec![bos];
     for _ in 0..max_steps {
-        let lp = next_logprobs(model, params, src, &prefix);
+        let logits = model.decode_step(params, &mut state, &[*prefix.last().unwrap()]);
+        let lp = log_softmax_row(logits.data());
         let next = argmax(&lp);
         if next == eos {
             break;
@@ -89,16 +83,14 @@ pub fn greedy_decode(
     prefix[1..].to_vec()
 }
 
-/// One scored hypothesis from [`beam_search`].
-#[derive(Debug, Clone)]
-pub struct Hypothesis {
-    /// Generated tokens (without BOS/EOS).
-    pub tokens: Vec<usize>,
-    /// Length-normalized log-probability.
-    pub score: f32,
-}
-
-/// Beam search over a single source. Returns hypotheses best-first.
+/// Beam search over a single source on the KV-cached fast path: every live
+/// hypothesis advances as one row of a `[width, 1, d]` decoder batch per
+/// step. Returns hypotheses best-first.
+///
+/// Control flow mirrors [`beam_search_reference`] statement for statement
+/// (same candidate ordering, same stable sorts, same early exit), and the
+/// batched logits are bit-identical to the per-hypothesis recompute, so the
+/// two return identical hypotheses.
 pub fn beam_search(
     model: &Seq2Seq,
     params: &mut ParamStore,
@@ -109,6 +101,155 @@ pub fn beam_search(
 ) -> Vec<Hypothesis> {
     assert_eq!(src.b, 1, "beam_search expects a single source");
     assert!(cfg.width > 0, "beam width must be positive");
+    let v = model.config().vocab_size;
+    let mut state = model.begin_decode(params, src);
+    // (prefix including BOS, cumulative log-prob). Invariant: the KV cache
+    // holds every prefix token except the newest, which the next step feeds.
+    let mut beams: Vec<(Vec<usize>, f32)> = vec![(vec![bos], 0.0)];
+    let mut done: Vec<Hypothesis> = Vec::new();
+
+    for _ in 0..cfg.max_steps {
+        // Split the beams into finished (at max_len) and live; drop the
+        // finished ones' cache rows so the live set advances as one batch.
+        let live: Vec<usize> = (0..beams.len())
+            .filter(|&i| beams[i].0.len() < model.config().max_len)
+            .collect();
+        let logits = if live.is_empty() {
+            None
+        } else {
+            if live.len() != state.width() || live.iter().enumerate().any(|(j, &i)| j != i) {
+                state.select_beams(&live);
+            }
+            let newest: Vec<usize> = live.iter().map(|&i| *beams[i].0.last().unwrap()).collect();
+            Some(model.decode_step(params, &mut state, &newest))
+        };
+
+        let mut candidates: Vec<(Vec<usize>, f32)> = Vec::new();
+        // Index into `live` (== cache row) of each candidate's parent.
+        let mut parents: Vec<usize> = Vec::new();
+        let mut row = 0usize;
+        for (prefix, logp) in &beams {
+            if prefix.len() >= model.config().max_len {
+                done.push(finish(prefix, *logp, cfg));
+                continue;
+            }
+            let data = logits.as_ref().expect("live beam implies a batch").data();
+            let lp = log_softmax_row(&data[row * v..(row + 1) * v]);
+            for (tok, cand_logp) in top_candidates(&lp, cfg.width) {
+                if tok == eos {
+                    done.push(finish(prefix, logp + cand_logp, cfg));
+                } else {
+                    let mut next = prefix.clone();
+                    next.push(tok);
+                    candidates.push((next, logp + cand_logp));
+                    parents.push(row);
+                }
+            }
+            row += 1;
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_by(|&a, &b| candidates[b].1.total_cmp(&candidates[a].1));
+        order.truncate(cfg.width);
+        beams = order.iter().map(|&i| candidates[i].clone()).collect();
+        let kept_parents: Vec<usize> = order.iter().map(|&i| parents[i]).collect();
+        state.select_beams(&kept_parents);
+        // Early exit: enough finished hypotheses that beat all live beams.
+        if done.len() >= cfg.width {
+            let best_live = beams.first().map(|(_, l)| *l).unwrap_or(f32::NEG_INFINITY);
+            done.sort_by(|a, b| b.score.total_cmp(&a.score));
+            if done[cfg.width - 1].score >= best_live {
+                break;
+            }
+        }
+    }
+    for (prefix, logp) in beams {
+        done.push(finish(&prefix, logp, cfg));
+    }
+    done.sort_by(|a, b| b.score.total_cmp(&a.score));
+    done.truncate(cfg.width);
+    done
+}
+
+/// The top-`width` next tokens of one log-prob row, best first (stable in
+/// token order on ties — the exact ordering the reference path produces).
+fn top_candidates(lp: &[f32], width: usize) -> Vec<(usize, f32)> {
+    let mut idx: Vec<usize> = (0..lp.len()).collect();
+    idx.sort_by(|&a, &b| lp[b].total_cmp(&lp[a]));
+    idx.into_iter().take(width).map(|tok| (tok, lp[tok])).collect()
+}
+
+/// Next-token log-probabilities for the reference path: rebuilds the full
+/// decoder graph over `prefix`, reusing the already-encoded source.
+fn next_logprobs_reference(
+    model: &Seq2Seq,
+    ctx: &mut Ctx<'_>,
+    enc: rpt_tensor::Var,
+    src: &TokenBatch,
+    prefix: &[usize],
+) -> Vec<f32> {
+    let tgt_in = TokenBatch::from_sequences(
+        &[Sequence::from_ids(prefix.to_vec())],
+        model.config().max_len,
+        0,
+    );
+    let logits = model.decode_logits(ctx, &tgt_in, enc, src);
+    let lv = ctx.tape.value(logits);
+    let v = model.config().vocab_size;
+    let last = prefix.len() - 1;
+    log_softmax_row(&lv.data()[last * v..(last + 1) * v])
+}
+
+/// Reference greedy decoding: one full decoder pass over the whole prefix
+/// per generated token (no KV cache), with the source encoded **once** per
+/// call. Kept as the semantic baseline for `tests/decode_equivalence.rs`.
+pub fn greedy_decode_reference(
+    model: &Seq2Seq,
+    params: &mut ParamStore,
+    src: &TokenBatch,
+    bos: usize,
+    eos: usize,
+    max_steps: usize,
+) -> Vec<usize> {
+    assert_eq!(src.b, 1, "greedy_decode expects a single source");
+    let tape = Tape::inference();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut ctx = Ctx::new(&tape, params, &mut rng, false);
+    let enc = model.encode(&mut ctx, src);
+    let mut prefix = vec![bos];
+    for _ in 0..max_steps {
+        let lp = next_logprobs_reference(model, &mut ctx, enc, src, &prefix);
+        let next = argmax(&lp);
+        if next == eos {
+            break;
+        }
+        prefix.push(next);
+        if prefix.len() >= model.config().max_len {
+            break;
+        }
+    }
+    prefix[1..].to_vec()
+}
+
+/// Reference beam search: each hypothesis recomputes its full prefix every
+/// step (no KV cache, no batching), with the source encoded **once** per
+/// call. Kept as the semantic baseline for `tests/decode_equivalence.rs`.
+pub fn beam_search_reference(
+    model: &Seq2Seq,
+    params: &mut ParamStore,
+    src: &TokenBatch,
+    bos: usize,
+    eos: usize,
+    cfg: &BeamConfig,
+) -> Vec<Hypothesis> {
+    assert_eq!(src.b, 1, "beam_search expects a single source");
+    assert!(cfg.width > 0, "beam width must be positive");
+    let tape = Tape::inference();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut ctx = Ctx::new(&tape, params, &mut rng, false);
+    let enc = model.encode(&mut ctx, src);
     // (prefix including BOS, cumulative log-prob)
     let mut beams: Vec<(Vec<usize>, f32)> = vec![(vec![bos], 0.0)];
     let mut done: Vec<Hypothesis> = Vec::new();
@@ -120,16 +261,14 @@ pub fn beam_search(
                 done.push(finish(prefix, *logp, cfg));
                 continue;
             }
-            let lp = next_logprobs(model, params, src, prefix);
-            let mut idx: Vec<usize> = (0..lp.len()).collect();
-            idx.sort_by(|&a, &b| lp[b].total_cmp(&lp[a]));
-            for &tok in idx.iter().take(cfg.width) {
+            let lp = next_logprobs_reference(model, &mut ctx, enc, src, prefix);
+            for (tok, cand_logp) in top_candidates(&lp, cfg.width) {
                 if tok == eos {
-                    done.push(finish(prefix, logp + lp[tok], cfg));
+                    done.push(finish(prefix, logp + cand_logp, cfg));
                 } else {
                     let mut next = prefix.clone();
                     next.push(tok);
-                    candidates.push((next, logp + lp[tok]));
+                    candidates.push((next, logp + cand_logp));
                 }
             }
         }
@@ -154,22 +293,6 @@ pub fn beam_search(
     done.sort_by(|a, b| b.score.total_cmp(&a.score));
     done.truncate(cfg.width);
     done
-}
-
-fn finish(prefix: &[usize], logp: f32, cfg: &BeamConfig) -> Hypothesis {
-    let len = (prefix.len() - 1).max(1) as f32;
-    Hypothesis {
-        tokens: prefix[1..].to_vec(),
-        score: logp / len.powf(cfg.len_penalty),
-    }
-}
-
-fn argmax(xs: &[f32]) -> usize {
-    xs.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .expect("argmax of empty slice")
 }
 
 #[cfg(test)]

@@ -17,8 +17,9 @@
 //!
 //! Plus the supporting pieces: [`module`] (Linear / Embedding / LayerNorm
 //! and the per-step [`Ctx`]), [`attention`], [`transformer`] stacks,
-//! [`batch`] padding-and-masking helpers, [`decode`] (greedy + beam),
-//! [`schedule`] (Noam warmup), and [`metrics`].
+//! [`batch`] padding-and-masking helpers, [`decode`] (KV-cached greedy +
+//! batched beam search with uncached reference paths), [`schedule`] (Noam
+//! warmup), and [`metrics`].
 
 pub mod attention;
 pub mod batch;
@@ -33,11 +34,16 @@ pub mod transformer;
 pub use attention::MultiHeadAttention;
 pub use batch::{Sequence, TokenBatch};
 pub use classifier::{EncoderClassifier, SpanExtractor};
-pub use decode::{beam_search, greedy_decode, BeamConfig};
+pub use decode::{
+    beam_search, beam_search_reference, greedy_decode, greedy_decode_reference, BeamConfig,
+    Hypothesis,
+};
 pub use module::{Ctx, Embedding, LayerNorm, Linear};
 pub use schedule::NoamSchedule;
-pub use seq2seq::{make_denoising_shards, DenoisingShard, Seq2Seq, TransformerConfig};
-pub use transformer::{Decoder, Encoder};
+pub use seq2seq::{
+    make_denoising_shards, DenoisingShard, IncrementalState, Seq2Seq, TransformerConfig,
+};
+pub use transformer::{Decoder, Encoder, LayerKv};
 
 /// Large negative value used for additive attention masking.
 pub const NEG_INF: f32 = -1e9;

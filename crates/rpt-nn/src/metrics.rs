@@ -1,4 +1,27 @@
-//! Evaluation metrics shared across the RPT experiments.
+//! Evaluation metrics shared across the RPT experiments, plus the host-side
+//! logits helpers ([`log_softmax_row`], [`argmax`]) shared by the decoding
+//! and evaluation code paths.
+
+/// Log-softmax of one logits row (host side): `x - logsumexp(x)`, computed
+/// with the max-subtraction trick for stability.
+pub fn log_softmax_row(row: &[f32]) -> Vec<f32> {
+    let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let lse = max + row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+    row.iter().map(|&x| x - lse).collect()
+}
+
+/// Index of the maximum element; ties break toward the last occurrence
+/// (the `max_by` convention).
+///
+/// # Panics
+/// On an empty slice.
+pub fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("argmax of empty slice")
+}
 
 /// Binary-classification confusion counts, with precision / recall / F1 —
 /// the F-measure of the paper's Table 2.
@@ -151,6 +174,21 @@ impl Mean {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn log_softmax_row_normalizes() {
+        let lp = log_softmax_row(&[1.0, 2.0, 3.0]);
+        let total: f32 = lp.iter().map(|&x| x.exp()).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!(lp[2] > lp[1] && lp[1] > lp[0]);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_last() {
+        assert_eq!(argmax(&[0.0, 3.0, 1.0]), 1);
+        assert_eq!(argmax(&[2.0, 2.0]), 1);
+        assert_eq!(argmax(&[f32::NEG_INFINITY, -1.0]), 1);
+    }
 
     #[test]
     fn confusion_prf() {

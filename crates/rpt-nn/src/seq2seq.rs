@@ -3,12 +3,13 @@
 //! token, positional, and column embeddings) and a left-to-right
 //! autoregressive decoder reconstructs the masked value.
 
-use rpt_rng::RngCore;
-use rpt_tensor::{ParamStore, Var};
+use rpt_rng::{RngCore, SeedableRng, SmallRng};
+use rpt_tensor::{ParamStore, Tape, Tensor, Var};
 
 use crate::batch::TokenBatch;
 use crate::module::{Ctx, Embedding};
-use crate::transformer::{Decoder, Encoder};
+use crate::transformer::{Decoder, Encoder, LayerKv};
+use crate::NEG_INF;
 
 /// Hyperparameters shared by the transformer models in this crate.
 #[derive(Debug, Clone)]
@@ -232,6 +233,150 @@ impl Seq2Seq {
         let logits = self.decode_logits(ctx, tgt_in, enc, src);
         ctx.tape
             .cross_entropy(logits, tgt_out, Some(pad_id), self.cfg.label_smoothing)
+    }
+
+    /// Starts an incremental decode: encodes the source **once** on a
+    /// forward-only tape, precomputes every decoder layer's cross-attention
+    /// K/V and the tied output projection `Eᵀ`, and returns the state that
+    /// [`Self::decode_step`] advances one token at a time.
+    ///
+    /// `src.b` must be 1 (one source per decode call); the hypothesis batch
+    /// grows via [`IncrementalState::select_beams`].
+    pub fn begin_decode(&self, params: &mut ParamStore, src: &TokenBatch) -> IncrementalState {
+        assert_eq!(src.b, 1, "begin_decode expects a single source, got b={}", src.b);
+        let tape = Tape::inference();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut ctx = Ctx::new(&tape, params, &mut rng, false);
+        let enc = self.encode(&mut ctx, src);
+        let layers = self.decoder.begin_cache(&mut ctx, enc);
+        let e = ctx.p(self.tok_emb.weight());
+        let et_var = ctx.tape.transpose_last(e); // [d, v]
+        let et = ctx.tape.value(et_var);
+        let cross_mask_row = (0..src.t)
+            .map(|i| if src.valid[i] { 0.0 } else { NEG_INF })
+            .collect();
+        IncrementalState {
+            layers,
+            et,
+            cross_mask_row,
+            cross_mask_cache: None,
+            pos: 0,
+            width: 1,
+            n_heads: self.cfg.n_heads,
+        }
+    }
+
+    /// One incremental decode step. `tokens` holds the newest token of each
+    /// hypothesis (all at position `state.decoded_len()`); returns
+    /// next-token logits `[width, vocab]` through the tied projection.
+    ///
+    /// Each step runs on its own forward-only tape, so the per-step graph is
+    /// dropped as soon as the logits are extracted.
+    pub fn decode_step(
+        &self,
+        params: &mut ParamStore,
+        state: &mut IncrementalState,
+        tokens: &[usize],
+    ) -> Tensor {
+        assert_eq!(
+            tokens.len(),
+            state.width,
+            "decode_step expects one token per hypothesis"
+        );
+        let b = tokens.len();
+        let tape = Tape::inference();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut ctx = Ctx::new(&tape, params, &mut rng, false);
+        let pos_id = state.pos.min(self.cfg.max_len - 1);
+        let tok = self.tok_emb.forward_batch(&mut ctx, tokens, b, 1);
+        let pos = self.pos_emb.forward_batch(&mut ctx, &vec![pos_id; b], b, 1);
+        let x = ctx.tape.add(tok, pos);
+        let x = ctx.dropout(x, self.cfg.dropout);
+        let cross_mask = state.cross_mask();
+        let h = self
+            .decoder
+            .forward_step(&mut ctx, x, &mut state.layers, Some(&cross_mask));
+        let flat = ctx.tape.reshape(h, &[b, self.cfg.d_model]);
+        let et = ctx.tape.constant(state.et.clone());
+        let logits = ctx.tape.matmul(flat, et);
+        state.pos += 1;
+        ctx.tape.value(logits)
+    }
+}
+
+/// State carried across incremental decode steps: per-layer KV caches, the
+/// materialized tied projection, and the source-validity mask row. Created
+/// by [`Seq2Seq::begin_decode`].
+pub struct IncrementalState {
+    layers: Vec<LayerKv>,
+    /// Tied output projection `Eᵀ` (`[d, vocab]`), materialized once.
+    et: Tensor,
+    /// Additive cross-attention mask over source keys (`0.0` for valid,
+    /// `NEG_INF` for padding), one entry per source position.
+    cross_mask_row: Vec<f32>,
+    /// Materialized `[width*h, 1, t_src]` mask for the current width,
+    /// rebuilt lazily after [`Self::select_beams`] changes the width.
+    cross_mask_cache: Option<Tensor>,
+    /// Tokens fed so far — the position index of the next token.
+    pos: usize,
+    /// Hypotheses currently advanced as one batch.
+    width: usize,
+    n_heads: usize,
+}
+
+impl IncrementalState {
+    /// Number of hypotheses currently advanced per step.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of tokens decoded (and cached) so far.
+    pub fn decoded_len(&self) -> usize {
+        self.pos
+    }
+
+    /// Per-layer KV caches (exposed for tests).
+    pub fn layers(&self) -> &[LayerKv] {
+        &self.layers
+    }
+
+    /// Reorders/replicates every cached K/V along the hypothesis dimension:
+    /// `parents[i]` names the current hypothesis that new hypothesis `i`
+    /// extends. The new width is `parents.len()`.
+    pub fn select_beams(&mut self, parents: &[usize]) {
+        let h = self.n_heads;
+        let rows: Vec<usize> = parents
+            .iter()
+            .flat_map(|&p| {
+                assert!(p < self.width, "parent {p} out of width {}", self.width);
+                (0..h).map(move |head| p * h + head)
+            })
+            .collect();
+        for layer in &mut self.layers {
+            layer.select_rows(&rows);
+        }
+        if self.width != parents.len() {
+            self.cross_mask_cache = None;
+        }
+        self.width = parents.len();
+    }
+
+    /// The `[width*h, 1, t_src]` additive cross-attention mask for the
+    /// current width — the same per-row values the reference path's
+    /// `cross_attn_mask` produces.
+    fn cross_mask(&mut self) -> Tensor {
+        if let Some(m) = &self.cross_mask_cache {
+            return m.clone();
+        }
+        let t_k = self.cross_mask_row.len();
+        let rows = self.width * self.n_heads;
+        let mut data = Vec::with_capacity(rows * t_k);
+        for _ in 0..rows {
+            data.extend_from_slice(&self.cross_mask_row);
+        }
+        let m = Tensor::from_vec(data, &[rows, 1, t_k]).expect("mask shape");
+        self.cross_mask_cache = Some(m.clone());
+        m
     }
 }
 

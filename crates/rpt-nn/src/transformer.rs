@@ -89,6 +89,61 @@ impl EncoderLayer {
     }
 }
 
+/// Per-layer KV cache for incremental decoding.
+///
+/// Cross-attention keys/values are projected once from the encoder output
+/// when the cache is created; self-attention keys/values start empty and
+/// grow by one time step per [`DecoderLayer::forward_step`]. All four
+/// tensors are `[width*h, t, dh]`, where `width` is the number of
+/// hypotheses currently advanced as a batch.
+#[derive(Debug, Clone)]
+pub struct LayerKv {
+    /// Cached self-attention keys over the decoded prefix (`None` before
+    /// the first step).
+    pub self_k: Option<Tensor>,
+    /// Cached self-attention values over the decoded prefix.
+    pub self_v: Option<Tensor>,
+    /// Cross-attention keys over the (fixed) encoder output.
+    pub cross_k: Tensor,
+    /// `cross_k` pre-transposed to `[width*h, dh, t_src]`, computed once at
+    /// cache-build time so each decode step skips the transpose op.
+    pub cross_kt: Tensor,
+    /// Cross-attention values over the encoder output.
+    pub cross_v: Tensor,
+}
+
+impl LayerKv {
+    /// Number of decoded positions currently cached.
+    pub fn decoded_len(&self) -> usize {
+        self.self_k.as_ref().map_or(0, |k| k.shape()[1])
+    }
+
+    fn append_self(&mut self, k_new: Tensor, v_new: Tensor) {
+        self.self_k = Some(match self.self_k.take() {
+            Some(k) => k.concat_dim1(&k_new),
+            None => k_new,
+        });
+        self.self_v = Some(match self.self_v.take() {
+            Some(v) => v.concat_dim1(&v_new),
+            None => v_new,
+        });
+    }
+
+    /// Reorders/replicates every cached tensor along the batch dimension.
+    /// `rows` indexes `[width*h]` rows of the *current* cache.
+    pub fn select_rows(&mut self, rows: &[usize]) {
+        if let Some(k) = &self.self_k {
+            self.self_k = Some(k.gather_batches(rows));
+        }
+        if let Some(v) = &self.self_v {
+            self.self_v = Some(v.gather_batches(rows));
+        }
+        self.cross_k = self.cross_k.gather_batches(rows);
+        self.cross_kt = self.cross_kt.gather_batches(rows);
+        self.cross_v = self.cross_v.gather_batches(rows);
+    }
+}
+
 /// One pre-LN decoder layer: causal self-attention, cross-attention over
 /// the encoder output, and FFN.
 #[derive(Debug, Clone)]
@@ -155,6 +210,63 @@ impl DecoderLayer {
 
         let n2 = self.ln2.forward(ctx, x);
         let c = self.cross_attn.forward(ctx, n2, enc_out, cross_mask);
+        let c = ctx.dropout(c, self.dropout);
+        let x = ctx.tape.add(x, c);
+
+        let n3 = self.ln3.forward(ctx, x);
+        let f = self.ff.forward(ctx, n3);
+        let f = ctx.dropout(f, self.dropout);
+        ctx.tape.add(x, f)
+    }
+
+    /// Precomputes this layer's cross-attention K/V from the encoder
+    /// output, starting an empty self-attention cache.
+    pub fn begin_cache(&self, ctx: &mut Ctx<'_>, enc_out: Var) -> LayerKv {
+        let (cross_k, cross_v) = self.cross_attn.project_kv(ctx, enc_out);
+        let kv = ctx.tape.constant(cross_k.clone());
+        let ktv = ctx.tape.transpose_last(kv);
+        let cross_kt = ctx.tape.value(ktv);
+        LayerKv {
+            self_k: None,
+            self_v: None,
+            cross_k,
+            cross_kt,
+            cross_v,
+        }
+    }
+
+    /// One incremental decode step. `x` is the `[width, 1, d]` embedding of
+    /// each hypothesis's newest token; the step appends that token's
+    /// self-attention K/V to `cache` and attends over the full cached
+    /// prefix.
+    ///
+    /// No self-attention mask is needed: every cached key is a real,
+    /// strictly-earlier token, so causality holds by construction. The
+    /// reference path adds `0.0` at exactly these positions, which only
+    /// flips `-0.0` scores to `+0.0` — a difference softmax erases — so the
+    /// output stays bit-identical to [`Self::forward`].
+    pub fn forward_step(
+        &self,
+        ctx: &mut Ctx<'_>,
+        x: Var,
+        cache: &mut LayerKv,
+        cross_mask: Option<&Tensor>,
+    ) -> Var {
+        let n1 = self.ln1.forward(ctx, x);
+        let (k_new, v_new) = self.self_attn.project_kv(ctx, n1);
+        cache.append_self(k_new, v_new);
+        let (sk, sv) = (
+            cache.self_k.clone().expect("append_self just ran"),
+            cache.self_v.clone().expect("append_self just ran"),
+        );
+        let a = self.self_attn.attend_cached(ctx, n1, &sk, &sv, None);
+        let a = ctx.dropout(a, self.dropout);
+        let x = ctx.tape.add(x, a);
+
+        let n2 = self.ln2.forward(ctx, x);
+        let c = self
+            .cross_attn
+            .attend_cached_kt(ctx, n2, &cache.cross_kt, &cache.cross_v, cross_mask);
         let c = ctx.dropout(c, self.dropout);
         let x = ctx.tape.add(x, c);
 
@@ -265,6 +377,35 @@ impl Decoder {
     ) -> Var {
         for layer in &self.layers {
             x = layer.forward(ctx, x, enc_out, self_mask, cross_mask);
+        }
+        self.final_ln.forward(ctx, x)
+    }
+
+    /// Precomputes every layer's cross-attention K/V from the encoder
+    /// output.
+    pub fn begin_cache(&self, ctx: &mut Ctx<'_>, enc_out: Var) -> Vec<LayerKv> {
+        self.layers
+            .iter()
+            .map(|layer| layer.begin_cache(ctx, enc_out))
+            .collect()
+    }
+
+    /// One incremental decode step through the whole stack plus the final
+    /// layer norm. `caches` must come from [`Self::begin_cache`].
+    pub fn forward_step(
+        &self,
+        ctx: &mut Ctx<'_>,
+        mut x: Var,
+        caches: &mut [LayerKv],
+        cross_mask: Option<&Tensor>,
+    ) -> Var {
+        assert_eq!(
+            caches.len(),
+            self.layers.len(),
+            "one KV cache per decoder layer"
+        );
+        for (layer, cache) in self.layers.iter().zip(caches.iter_mut()) {
+            x = layer.forward_step(ctx, x, cache, cross_mask);
         }
         self.final_ln.forward(ctx, x)
     }

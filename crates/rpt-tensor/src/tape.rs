@@ -48,12 +48,31 @@ impl Gradients {
 #[derive(Default)]
 pub struct Tape {
     nodes: RefCell<Vec<Node>>,
+    forward_only: bool,
 }
 
 impl Tape {
-    /// An empty tape.
+    /// An empty tape that records the backward graph (training mode).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A forward-only tape for inference. Operations compute exactly the
+    /// same forward values as on a recording tape, but no parent edges or
+    /// backward closures are kept, so the backward graph (and every tensor
+    /// it would capture) is dropped as it is built. [`Tape::backward`]
+    /// panics on such a tape.
+    pub fn inference() -> Self {
+        Self {
+            nodes: RefCell::new(Vec::new()),
+            forward_only: true,
+        }
+    }
+
+    /// True if this tape skips gradient recording (built by
+    /// [`Tape::inference`]).
+    pub fn is_forward_only(&self) -> bool {
+        self.forward_only
     }
 
     /// Number of recorded nodes (useful for tests and diagnostics).
@@ -75,6 +94,23 @@ impl Tape {
         });
         Var {
             id: nodes.len() - 1,
+        }
+    }
+
+    /// Records a differentiable op's result. On a recording tape the parent
+    /// edges are copied and the backward closure boxed; on a forward-only
+    /// tape neither allocation happens — the unboxed closure is dropped on
+    /// the spot, releasing the tensors it captured. Keeping the closure
+    /// generic (rather than taking a pre-boxed `GradFn`) is what makes the
+    /// inference path allocation-free per op.
+    fn push_op<F>(&self, value: Tensor, parents: &[usize], grad_fn: F) -> Var
+    where
+        F: Fn(&Tensor) -> Vec<Tensor> + 'static,
+    {
+        if self.forward_only {
+            self.push(value, Vec::new(), None)
+        } else {
+            self.push(value, parents.to_vec(), Some(Box::new(grad_fn)))
         }
     }
 
@@ -148,7 +184,7 @@ impl Tape {
         let av_c = av.clone();
         let bv_c = bv.clone();
         let out_c = out_t.clone();
-        let grad_fn: GradFn = Box::new(move |g: &Tensor| {
+        let grad_fn = move |g: &Tensor| {
             let n = bv_c.numel().max(1);
             let mut ga = vec![0.0f32; av_c.numel()];
             let mut gb = vec![0.0f32; n];
@@ -163,8 +199,8 @@ impl Tape {
                 Tensor::from_vec(ga, av_c.shape()).expect("ga shape"),
                 Tensor::from_vec(gb, bv_c.shape()).expect("gb shape"),
             ]
-        });
-        self.push(out_t, vec![a.id, b.id], Some(grad_fn))
+        };
+        self.push_op(out_t, &[a.id, b.id], grad_fn)
     }
 
     /// `-a`.
@@ -192,7 +228,7 @@ impl Tape {
         let out = av.map(&f);
         let av_c = av.clone();
         let out_c = out.clone();
-        let grad_fn: GradFn = Box::new(move |g| {
+        let grad_fn = move |g: &Tensor| {
             let data: Vec<f32> = g
                 .data()
                 .iter()
@@ -200,8 +236,8 @@ impl Tape {
                 .map(|(&gv, (&x, &y))| gv * dfn(x, y))
                 .collect();
             vec![Tensor::from_vec(data, av_c.shape()).expect("unary grad shape")]
-        });
-        self.push(out, vec![a.id], Some(grad_fn))
+        };
+        self.push_op(out, &[a.id], grad_fn)
     }
 
     // ------------------------------------------------------------------
@@ -237,15 +273,15 @@ impl Tape {
         let av = self.value(a);
         let old_shape = av.shape().to_vec();
         let out = av.reshape(shape);
-        let grad_fn: GradFn = Box::new(move |g| vec![g.reshape(&old_shape)]);
-        self.push(out, vec![a.id], Some(grad_fn))
+        let grad_fn = move |g: &Tensor| vec![g.reshape(&old_shape)];
+        self.push_op(out, &[a.id], grad_fn)
     }
 
     /// Transposes the last two dims of a 2-d or 3-d tensor.
     pub fn transpose_last(&self, a: Var) -> Var {
         let out = self.value(a).transpose_last();
-        let grad_fn: GradFn = Box::new(move |g| vec![g.transpose_last()]);
-        self.push(out, vec![a.id], Some(grad_fn))
+        let grad_fn = move |g: &Tensor| vec![g.transpose_last()];
+        self.push_op(out, &[a.id], grad_fn)
     }
 
     /// Selects one time step: `[b,t,d] -> [b,d]`.
@@ -260,15 +296,15 @@ impl Tape {
             out.extend_from_slice(&av.data()[off..off + d]);
         }
         let out_t = Tensor::from_vec(out, &[b, d]).expect("select_time shape");
-        let grad_fn: GradFn = Box::new(move |g| {
+        let grad_fn = move |g: &Tensor| {
             let mut ga = vec![0.0f32; b * t * d];
             for bi in 0..b {
                 let off = bi * t * d + t_index * d;
                 ga[off..off + d].copy_from_slice(&g.data()[bi * d..(bi + 1) * d]);
             }
             vec![Tensor::from_vec(ga, &[b, t, d]).expect("select_time grad shape")]
-        });
-        self.push(out_t, vec![a.id], Some(grad_fn))
+        };
+        self.push_op(out_t, &[a.id], grad_fn)
     }
 
     /// Weighted mean over the time dimension: `[b,t,d] x [b,t] -> [b,d]`.
@@ -295,7 +331,7 @@ impl Tape {
         }
         let out_t = Tensor::from_vec(out, &[b, d]).expect("wmt shape");
         let w_c = weights.clone();
-        let grad_fn: GradFn = Box::new(move |g| {
+        let grad_fn = move |g: &Tensor| {
             let mut ga = vec![0.0f32; b * t * d];
             for bi in 0..b {
                 for ti in 0..t {
@@ -311,8 +347,8 @@ impl Tape {
                 }
             }
             vec![Tensor::from_vec(ga, &[b, t, d]).expect("wmt grad shape")]
-        });
-        self.push(out_t, vec![a.id], Some(grad_fn))
+        };
+        self.push_op(out_t, &[a.id], grad_fn)
     }
 
     /// Concatenates two tensors along the last dimension. Leading dims must
@@ -341,7 +377,7 @@ impl Tape {
         let out_t = Tensor::from_vec(out, &shape).expect("concat shape");
         let a_shape = av.shape().to_vec();
         let b_shape = bv.shape().to_vec();
-        let grad_fn: GradFn = Box::new(move |g| {
+        let grad_fn = move |g: &Tensor| {
             let mut ga = Vec::with_capacity(rows * da);
             let mut gb = Vec::with_capacity(rows * db);
             for r in 0..rows {
@@ -353,8 +389,8 @@ impl Tape {
                 Tensor::from_vec(ga, &a_shape).expect("concat ga"),
                 Tensor::from_vec(gb, &b_shape).expect("concat gb"),
             ]
-        });
-        self.push(out_t, vec![a.id, b.id], Some(grad_fn))
+        };
+        self.push_op(out_t, &[a.id, b.id], grad_fn)
     }
 
     /// Splits the model dimension into attention heads:
@@ -367,11 +403,11 @@ impl Tape {
         let dh = d / h;
         let out = split_heads_data(av.data(), b, t, h, dh);
         let out_t = Tensor::from_vec(out, &[b * h, t, dh]).expect("split_heads shape");
-        let grad_fn: GradFn = Box::new(move |g| {
+        let grad_fn = move |g: &Tensor| {
             vec![Tensor::from_vec(merge_heads_data(g.data(), b, t, h, dh), &[b, t, h * dh])
                 .expect("split_heads grad shape")]
-        });
-        self.push(out_t, vec![a.id], Some(grad_fn))
+        };
+        self.push_op(out_t, &[a.id], grad_fn)
     }
 
     /// Inverse of [`Tape::split_heads`]: `[b*h, t, dh] -> [b, t, h*dh]`.
@@ -383,11 +419,11 @@ impl Tape {
         let b = bh / h;
         let out = merge_heads_data(av.data(), b, t, h, dh);
         let out_t = Tensor::from_vec(out, &[b, t, h * dh]).expect("merge_heads shape");
-        let grad_fn: GradFn = Box::new(move |g| {
+        let grad_fn = move |g: &Tensor| {
             vec![Tensor::from_vec(split_heads_data(g.data(), b, t, h, dh), &[b * h, t, dh])
                 .expect("merge_heads grad shape")]
-        });
-        self.push(out_t, vec![a.id], Some(grad_fn))
+        };
+        self.push_op(out_t, &[a.id], grad_fn)
     }
 
     // ------------------------------------------------------------------
@@ -405,7 +441,7 @@ impl Tape {
         };
         let av_c = av.clone();
         let bv_c = bv.clone();
-        let grad_fn: GradFn = Box::new(move |g| {
+        let grad_fn = move |g: &Tensor| {
             // dA = G @ B^T, dB = A^T @ G (per batch for the 3-d case).
             let bt = bv_c.transpose_last();
             let at = av_c.transpose_last();
@@ -415,8 +451,8 @@ impl Tape {
                 (g.bmm(&bt), at.bmm(g))
             };
             vec![ga, gb]
-        });
-        self.push(out, vec![a.id, b.id], Some(grad_fn))
+        };
+        self.push_op(out, &[a.id, b.id], grad_fn)
     }
 
     // ------------------------------------------------------------------
@@ -428,7 +464,7 @@ impl Tape {
         let out = self.value(a).softmax_last();
         let out_c = out.clone();
         let last = *out.shape().last().expect("softmax 0-d");
-        let grad_fn: GradFn = Box::new(move |g| {
+        let grad_fn = move |g: &Tensor| {
             let mut ga = vec![0.0f32; g.numel()];
             for (row_i, (g_row, s_row)) in g
                 .data()
@@ -443,8 +479,8 @@ impl Tape {
                 }
             }
             vec![Tensor::from_vec(ga, out_c.shape()).expect("softmax grad shape")]
-        });
-        self.push(out, vec![a.id], Some(grad_fn))
+        };
+        self.push_op(out, &[a.id], grad_fn)
     }
 
     /// Log-softmax over the last dimension.
@@ -461,7 +497,7 @@ impl Tape {
         }
         let out_t = Tensor::from_vec(out, av.shape()).expect("log_softmax shape");
         let out_c = out_t.clone();
-        let grad_fn: GradFn = Box::new(move |g| {
+        let grad_fn = move |g: &Tensor| {
             let mut ga = vec![0.0f32; g.numel()];
             for (row_i, (g_row, ls_row)) in
                 g.data().chunks(last).zip(out_c.data().chunks(last)).enumerate()
@@ -473,8 +509,8 @@ impl Tape {
                 }
             }
             vec![Tensor::from_vec(ga, out_c.shape()).expect("log_softmax grad shape")]
-        });
-        self.push(out_t, vec![a.id], Some(grad_fn))
+        };
+        self.push_op(out_t, &[a.id], grad_fn)
     }
 
     /// Layer normalization over the last dimension (no affine transform;
@@ -498,7 +534,7 @@ impl Tape {
         }
         let out_t = Tensor::from_vec(out, av.shape()).expect("layer_norm shape");
         let out_c = out_t.clone();
-        let grad_fn: GradFn = Box::new(move |g| {
+        let grad_fn = move |g: &Tensor| {
             // dX = inv_std * (dY - mean(dY) - Y_hat * mean(dY * Y_hat))
             let mut ga = vec![0.0f32; g.numel()];
             for r in 0..rows {
@@ -518,8 +554,8 @@ impl Tape {
                 }
             }
             vec![Tensor::from_vec(ga, out_c.shape()).expect("layer_norm grad shape")]
-        });
-        self.push(out_t, vec![a.id], Some(grad_fn))
+        };
+        self.push_op(out_t, &[a.id], grad_fn)
     }
 
     // ------------------------------------------------------------------
@@ -534,7 +570,7 @@ impl Tape {
         let (v, d) = (wv.shape()[0], wv.shape()[1]);
         let out = wv.gather_rows(ids);
         let ids_c: Vec<usize> = ids.to_vec();
-        let grad_fn: GradFn = Box::new(move |g| {
+        let grad_fn = move |g: &Tensor| {
             let mut gw = vec![0.0f32; v * d];
             for (row, &id) in ids_c.iter().enumerate() {
                 let src = &g.data()[row * d..(row + 1) * d];
@@ -544,8 +580,8 @@ impl Tape {
                 }
             }
             vec![Tensor::from_vec(gw, &[v, d]).expect("embedding grad shape")]
-        });
-        self.push(out, vec![weight.id], Some(grad_fn))
+        };
+        self.push_op(out, &[weight.id], grad_fn)
     }
 
     // ------------------------------------------------------------------
@@ -568,11 +604,11 @@ impl Tape {
         let out: Vec<f32> = av.data().iter().zip(mask.iter()).map(|(&x, &m)| x * m).collect();
         let out_t = Tensor::from_vec(out, av.shape()).expect("dropout shape");
         let shape = av.shape().to_vec();
-        let grad_fn: GradFn = Box::new(move |g| {
+        let grad_fn = move |g: &Tensor| {
             let ga: Vec<f32> = g.data().iter().zip(mask.iter()).map(|(&gv, &m)| gv * m).collect();
             vec![Tensor::from_vec(ga, &shape).expect("dropout grad shape")]
-        });
-        self.push(out_t, vec![a.id], Some(grad_fn))
+        };
+        self.push_op(out_t, &[a.id], grad_fn)
     }
 
     // ------------------------------------------------------------------
@@ -584,11 +620,11 @@ impl Tape {
         let av = self.value(a);
         let out = Tensor::scalar(av.sum());
         let shape = av.shape().to_vec();
-        let grad_fn: GradFn = Box::new(move |g| {
+        let grad_fn = move |g: &Tensor| {
             let gv = g.data()[0];
             vec![Tensor::full(&shape, gv)]
-        });
-        self.push(out, vec![a.id], Some(grad_fn))
+        };
+        self.push_op(out, &[a.id], grad_fn)
     }
 
     /// Mean of all elements, as a `[1]` scalar.
@@ -647,7 +683,7 @@ impl Tape {
 
         let targets_c = targets.to_vec();
         let probs_t = Tensor::from_vec(probs, &[n, v]).expect("probs shape");
-        let grad_fn: GradFn = Box::new(move |g| {
+        let grad_fn = move |g: &Tensor| {
             let gscale = g.data()[0] / count as f32;
             let mut gl = vec![0.0f32; n * v];
             for (row_i, &t) in targets_c.iter().enumerate() {
@@ -670,8 +706,8 @@ impl Tape {
                 }
             }
             vec![Tensor::from_vec(gl, &[n, v]).expect("ce grad shape")]
-        });
-        self.push(out, vec![logits.id], Some(grad_fn))
+        };
+        self.push_op(out, &[logits.id], grad_fn)
     }
 
     // ------------------------------------------------------------------
@@ -679,7 +715,16 @@ impl Tape {
     // ------------------------------------------------------------------
 
     /// Reverse-mode sweep from `loss` (which must be a `[1]` scalar).
+    ///
+    /// # Panics
+    /// On a forward-only tape (see [`Tape::inference`]): no backward graph
+    /// was recorded, so gradients cannot be computed.
     pub fn backward(&self, loss: Var) -> Gradients {
+        assert!(
+            !self.forward_only,
+            "backward called on a forward-only inference tape; build the \
+             graph on Tape::new() to compute gradients"
+        );
         let nodes = self.nodes.borrow();
         assert_eq!(
             nodes[loss.id].value.numel(),
@@ -1031,6 +1076,38 @@ mod tests {
             tape.sum_all(tape.mul(m, m))
         });
         assert!(err < 2e-1, "split/merge grad error {err}");
+    }
+
+    #[test]
+    fn forward_only_tape_matches_recording_tape_bitwise() {
+        // the same op chain on a recording and an inference tape must
+        // produce identical forward bits
+        let x = t(&[0.5, -1.0, 2.0, 0.3, -0.7, 1.2], &[2, 3]);
+        let w = t(&[0.1, 0.2, -0.3, 0.4, 0.5, -0.6], &[3, 2]);
+        let run = |tape: &Tape| {
+            let xv = tape.leaf(x.clone());
+            let wv = tape.leaf(w.clone());
+            let h = tape.gelu(tape.matmul(xv, wv));
+            let n = tape.layer_norm(h, 1e-5);
+            tape.value(tape.softmax_last(n))
+        };
+        let train = Tape::new();
+        let infer = Tape::inference();
+        assert!(!train.is_forward_only());
+        assert!(infer.is_forward_only());
+        let a = run(&train);
+        let b = run(&infer);
+        let bits = |t: &Tensor| t.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "forward-only inference tape")]
+    fn backward_panics_on_forward_only_tape() {
+        let tape = Tape::inference();
+        let x = tape.leaf(t(&[1.0, 2.0], &[2]));
+        let loss = tape.sum_all(x);
+        let _ = tape.backward(loss);
     }
 
     #[test]

@@ -324,6 +324,46 @@ impl Tensor {
             shape: vec![ids.len(), d],
         }
     }
+
+    /// Concatenates two 3-d tensors along the middle (time) dimension:
+    /// `[b, t1, d] + [b, t2, d] -> [b, t1 + t2, d]`. This is the KV-cache
+    /// append: one decode step's keys/values (`t2 == 1`) joined onto the
+    /// cached prefix.
+    pub fn concat_dim1(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 3, "concat_dim1 lhs must be 3-d, got {:?}", self.shape);
+        assert_eq!(other.ndim(), 3, "concat_dim1 rhs must be 3-d, got {:?}", other.shape);
+        let (b, t1, d) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, t2, d2) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(b, b2, "concat_dim1 batch dims differ: {:?} vs {:?}", self.shape, other.shape);
+        assert_eq!(d, d2, "concat_dim1 last dims differ: {:?} vs {:?}", self.shape, other.shape);
+        let mut out = Vec::with_capacity(b * (t1 + t2) * d);
+        for bi in 0..b {
+            out.extend_from_slice(&self.data[bi * t1 * d..(bi + 1) * t1 * d]);
+            out.extend_from_slice(&other.data[bi * t2 * d..(bi + 1) * t2 * d]);
+        }
+        Tensor {
+            data: Arc::new(out),
+            shape: vec![b, t1 + t2, d],
+        }
+    }
+
+    /// Gathers dim-0 slices of a 3-d tensor: `[b, t, d]` indexed by `idx`
+    /// yields `[idx.len(), t, d]`. Indices may repeat — beam search uses
+    /// this both to replicate a single hypothesis's KV cache across beams
+    /// and to reorder caches after pruning.
+    pub fn gather_batches(&self, idx: &[usize]) -> Tensor {
+        assert_eq!(self.ndim(), 3, "gather_batches source must be 3-d, got {:?}", self.shape);
+        let (b, t, d) = (self.shape[0], self.shape[1], self.shape[2]);
+        let mut out = Vec::with_capacity(idx.len() * t * d);
+        for &i in idx {
+            assert!(i < b, "gather_batches index {i} out of {b}");
+            out.extend_from_slice(&self.data[i * t * d..(i + 1) * t * d]);
+        }
+        Tensor {
+            data: Arc::new(out),
+            shape: vec![idx.len(), t, d],
+        }
+    }
 }
 
 /// Stable in-place softmax of a single row.
@@ -340,21 +380,82 @@ pub(crate) fn softmax_row(row: &mut [f32]) {
     }
 }
 
-/// One output row of a matmul: `out_row[n] += a_row[k] · b[k,n]`.
-/// kj order keeps the inner loop streaming over contiguous memory. This is
-/// the unit of parallel work — a row is always computed by exactly one
-/// thread with this exact operation order, so the full product is
-/// bit-identical for every thread count.
-#[inline]
-pub(crate) fn matmul_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], n: usize) {
-    for (kk, &av) in a_row.iter().enumerate() {
-        if av == 0.0 {
-            continue;
+/// Output rows per register block of the matmul microkernel. Each block of
+/// `MR` rows shares one streaming pass over the `B` operand, dividing `B`
+/// memory traffic by `MR`.
+const MR: usize = 4;
+
+/// Output columns per register tile. `MR × NR` accumulators live in
+/// registers for the whole `k` loop; 16 f32 lanes give the autovectorizer
+/// two full 256-bit (or four 128-bit) vectors per row.
+const NR: usize = 16;
+
+/// Cache-blocked matmul of `rows` output rows against a single `[k, n]`
+/// right-hand matrix: `out[r, j] = Σ_k a[r, k] · b[k, j]` (`out` must be
+/// zeroed).
+///
+/// Loop order is column-tile outer, row-block middle, `k` inner: the `NR`
+/// hot columns of `B` (k·NR floats) stay L1-resident across every row
+/// block, and `A` streams once per column tile (it is the smaller operand
+/// in every product this library performs). Inside a full `MR × NR` tile
+/// the accumulators are a register array updated as a rank-1 outer product
+/// per `k`.
+///
+/// Bit-identity: every output element is one scalar accumulator updated
+/// `acc += a·b` in strictly ascending `k` order — in the full-tile path,
+/// the edge-tile path, and any thread partitioning alike (Rust never
+/// contracts the mul+add to an FMA). The result is therefore identical
+/// bit-for-bit regardless of tile placement or thread count.
+pub(crate) fn matmul_rows_blocked(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), rows * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), rows * n);
+    let mut j = 0;
+    while j < n {
+        let nr = NR.min(n - j);
+        let mut r = 0;
+        while r < rows {
+            let mr = MR.min(rows - r);
+            if mr == MR && nr == NR {
+                let mut acc = [[0.0f32; NR]; MR];
+                for kk in 0..k {
+                    let brow = &b[kk * n + j..kk * n + j + NR];
+                    for (ri, acc_row) in acc.iter_mut().enumerate() {
+                        let av = a[(r + ri) * k + kk];
+                        for (jj, &bv) in brow.iter().enumerate() {
+                            acc_row[jj] += av * bv;
+                        }
+                    }
+                }
+                for (ri, acc_row) in acc.iter().enumerate() {
+                    let o = (r + ri) * n + j;
+                    out[o..o + NR].copy_from_slice(acc_row);
+                }
+            } else {
+                // Edge tile (rows % MR / n % NR remainders): scalar loops
+                // with the same per-element k-ascending accumulation.
+                for ri in 0..mr {
+                    let a_row = &a[(r + ri) * k..(r + ri + 1) * k];
+                    let o = (r + ri) * n + j;
+                    let out_row = &mut out[o..o + nr];
+                    for (kk, &av) in a_row.iter().enumerate() {
+                        let brow = &b[kk * n + j..kk * n + j + nr];
+                        for (ov, &bv) in out_row.iter_mut().zip(brow.iter()) {
+                            *ov += av * bv;
+                        }
+                    }
+                }
+            }
+            r += MR;
         }
-        let b_row = &b[kk * n..(kk + 1) * n];
-        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-            *o += av * bv;
-        }
+        j += NR;
     }
 }
 
@@ -363,8 +464,11 @@ pub(crate) fn matmul_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], n: usize
 const PAR_MIN_MADDS: usize = 16 * 1024;
 
 /// Batched matmul `out[b,m,n] = a[b,m,k] x bmat[b,k,n]` with the `b * m`
-/// output rows partitioned into contiguous per-thread chunks. `b == 1`
-/// degenerates to a plain 2-d product.
+/// output rows partitioned into contiguous per-thread chunks, each chunk
+/// split at batch boundaries and handed to the blocked microkernel.
+/// `b == 1` degenerates to a plain 2-d product. Thread partitioning only
+/// decides *which* thread runs a row — never the arithmetic order inside
+/// it — so results are bit-identical for every thread count.
 fn matmul_batched(
     pool: &rpt_par::ThreadPool,
     a: &[f32],
@@ -382,28 +486,35 @@ fn matmul_batched(
     if rows == 0 || n == 0 {
         return;
     }
-    let row_of = |r: usize, chunk: &mut [f32]| {
-        let (bi, i) = (r / m, r % m);
-        matmul_row(
-            &a[(bi * m + i) * k..(bi * m + i + 1) * k],
-            &bmat[bi * k * n..(bi + 1) * k * n],
-            chunk,
-            n,
-        );
+    // Runs global rows [r0, r0 + chunk_rows) into `out_chunk`, splitting
+    // the range wherever it crosses a bmm batch boundary.
+    let run = |r0: usize, out_chunk: &mut [f32]| {
+        let end = r0 + out_chunk.len() / n;
+        let mut r = r0;
+        let mut off = 0;
+        while r < end {
+            let (bi, i0) = (r / m, r % m);
+            let seg = (m - i0).min(end - r);
+            matmul_rows_blocked(
+                &a[(bi * m + i0) * k..(bi * m + i0 + seg) * k],
+                &bmat[bi * k * n..(bi + 1) * k * n],
+                &mut out_chunk[off..off + seg * n],
+                seg,
+                k,
+                n,
+            );
+            r += seg;
+            off += seg * n;
+        }
     };
     let threads = pool.num_threads();
     if threads == 1 || rows * k * n < PAR_MIN_MADDS {
-        for (r, chunk) in out.chunks_mut(n).enumerate() {
-            row_of(r, chunk);
-        }
+        run(0, out);
         return;
     }
     let rows_per_chunk = rows.div_ceil(threads);
     pool.chunks_mut(out, rows_per_chunk * n, |ci, chunk| {
-        let r0 = ci * rows_per_chunk;
-        for (j, out_row) in chunk.chunks_mut(n).enumerate() {
-            row_of(r0 + j, out_row);
-        }
+        run(ci * rows_per_chunk, chunk);
     });
 }
 
@@ -515,5 +626,76 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
         let _ = a.matmul2d(&b);
+    }
+
+    /// Naive triple loop with the same per-element k-ascending order as the
+    /// blocked kernel — the blocked kernel must match it bit-for-bit.
+    fn matmul_naive(a: &Tensor, b: &Tensor) -> Vec<f32> {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_kernel_matches_naive_on_edge_shapes() {
+        use crate::init;
+        use rpt_rng::{SeedableRng, SmallRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        // hit every tile path: full tiles, row tails (m % MR), column
+        // tails (n % NR), and shapes smaller than one tile
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 16),
+            (5, 8, 17),
+            (9, 3, 33),
+            (16, 20, 16),
+            (17, 64, 50),
+        ] {
+            let a = init::normal(&[m, k], 1.0, &mut rng);
+            let b = init::normal(&[k, n], 1.0, &mut rng);
+            let c = a.matmul2d(&b);
+            let naive = matmul_naive(&a, &b);
+            let got: Vec<u32> = c.data().iter().map(|x| x.to_bits()).collect();
+            let want: Vec<u32> = naive.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, want, "shape [{m},{k}]x[{k},{n}]");
+        }
+    }
+
+    #[test]
+    fn concat_dim1_appends_along_time() {
+        let a = Tensor::from_vec((0..8).map(|x| x as f32).collect(), &[2, 2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 11.0, 12.0, 13.0], &[2, 1, 2]).unwrap();
+        let c = a.concat_dim1(&b);
+        assert_eq!(c.shape(), &[2, 3, 2]);
+        assert_eq!(
+            c.data(),
+            &[0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 4.0, 5.0, 6.0, 7.0, 12.0, 13.0]
+        );
+    }
+
+    #[test]
+    fn gather_batches_replicates_and_reorders() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[3, 1, 2]).unwrap();
+        let g = a.gather_batches(&[2, 0, 0, 1]);
+        assert_eq!(g.shape(), &[4, 1, 2]);
+        assert_eq!(g.data(), &[4.0, 5.0, 0.0, 1.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gather_batches index")]
+    fn gather_batches_bounds_checked() {
+        let a = Tensor::zeros(&[2, 1, 2]);
+        let _ = a.gather_batches(&[2]);
     }
 }

@@ -2,11 +2,14 @@
 # Tier-1 verification plus the parallel-determinism gate.
 #
 # 1. Offline release build + full workspace test suite (the tier-1 bar).
-# 2. The equivalence suite re-run with a 4-thread global pool, proving the
-#    data-parallel trainer and parallel matmul kernels are bit-identical
-#    to the serial path when threading is actually on (the suites also
-#    construct explicit pools internally, so this doubles as an env-var
-#    plumbing check for RPT_THREADS).
+# 2. The equivalence suites re-run with a 4-thread global pool, proving
+#    that (a) the data-parallel trainer and parallel matmul kernels and
+#    (b) the KV-cached incremental decoder are bit-identical to their
+#    serial/uncached reference paths when threading is actually on (the
+#    suites also construct explicit pools internally, so this doubles as
+#    an env-var plumbing check for RPT_THREADS).
+# 3. A fast-mode smoke run of the decode microbench, checking the fast
+#    path still beats the reference and the artifact gets written.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,5 +17,15 @@ cargo build --release --offline
 cargo test -q --offline --workspace
 
 RPT_THREADS=4 cargo test -q --offline --test parallel_equivalence
+RPT_THREADS=4 cargo test -q --offline --test decode_equivalence
+
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+RPT_BENCH_FAST=1 RPT_BENCH_DIR="$smoke_dir" \
+    cargo bench -q --offline -p rpt-bench --bench micro -- decode
+test -s "$smoke_dir/bench_decode.json" || {
+    echo "verify: decode bench artifact missing" >&2
+    exit 1
+}
 
 echo "verify: OK"

@@ -1,0 +1,299 @@
+//! Fast-path / reference decoding equivalence.
+//!
+//! The KV-cached incremental decoder (`greedy_decode` / `beam_search`) must
+//! produce **token-identical** output to the full-prefix reference
+//! recompute (`greedy_decode_reference` / `beam_search_reference`) on
+//! trained models, with hypothesis scores within 1e-4. Also unit-tests the
+//! KV cache itself: single-token append shape/content and beam-row
+//! replication.
+
+use rpt::core::cleaning::{CleaningConfig, MaskPolicy, RptC};
+use rpt::core::vocabulary::build_vocab;
+use rpt::nn::{
+    beam_search, beam_search_reference, greedy_decode, greedy_decode_reference, BeamConfig,
+    Ctx, Hypothesis, Seq2Seq, Sequence, TokenBatch, TransformerConfig,
+};
+use rpt::table::{Schema, Table, Value};
+use rpt::tensor::{clip_global_norm, Adam, AdamConfig, ParamStore, Tape};
+use rpt_rng::{SeedableRng, SmallRng};
+
+const BOS: usize = 1;
+const EOS: usize = 2;
+
+/// Trains a tiny copy model (output = input tokens) — same recipe as the
+/// rpt-nn decode unit tests.
+fn trained_copy_model() -> (Seq2Seq, ParamStore) {
+    let mut params = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let model = Seq2Seq::new(&mut params, TransformerConfig::tiny(12), &mut rng);
+    let mut opt = Adam::new(AdamConfig {
+        lr: 3e-3,
+        ..Default::default()
+    });
+    let examples: Vec<Vec<usize>> = vec![
+        vec![9, 10],
+        vec![10, 9],
+        vec![11, 9],
+        vec![9, 11],
+        vec![10, 11],
+        vec![11, 10],
+    ];
+    for _ in 0..150 {
+        let srcs: Vec<Sequence> = examples.iter().map(|e| Sequence::from_ids(e.clone())).collect();
+        let src = TokenBatch::from_sequences(&srcs, 16, 0);
+        let tgt_in: Vec<Sequence> = examples
+            .iter()
+            .map(|e| {
+                let mut v = vec![BOS];
+                v.extend(e);
+                Sequence::from_ids(v)
+            })
+            .collect();
+        let tgt_in = TokenBatch::from_sequences(&tgt_in, 16, 0);
+        let mut tgt_out = vec![0usize; tgt_in.b * tgt_in.t];
+        for (bi, e) in examples.iter().enumerate() {
+            for (i, &tok) in e.iter().enumerate() {
+                tgt_out[bi * tgt_in.t + i] = tok;
+            }
+            tgt_out[bi * tgt_in.t + e.len()] = EOS;
+        }
+        let tape = Tape::new();
+        let mut rng3 = SmallRng::seed_from_u64(2);
+        let mut ctx = Ctx::new(&tape, &mut params, &mut rng3, true);
+        let loss = model.reconstruction_loss(&mut ctx, &src, &tgt_in, &tgt_out, 0);
+        let mut grads = tape.backward(loss);
+        let mut pg = params.collect_grads(&mut grads);
+        clip_global_norm(&mut pg, 1.0);
+        opt.step(&mut params, &pg);
+    }
+    (model, params)
+}
+
+/// Pretrains a tiny RPT-C denoising model on an FD table (brand → maker).
+fn trained_denoising_model() -> (RptC, Table) {
+    let mut t = Table::new("products", Schema::text_columns(&["title", "maker"]));
+    let rows: [(&str, &str); 8] = [
+        ("iphone seven", "apple"),
+        ("iphone eight", "apple"),
+        ("galaxy seven", "samsung"),
+        ("galaxy eight", "samsung"),
+        ("pixel seven", "google"),
+        ("pixel eight", "google"),
+        ("xperia seven", "sony"),
+        ("xperia eight", "sony"),
+    ];
+    for (a, b) in rows {
+        t.push_values(vec![Value::text(a), Value::text(b)]);
+    }
+    let vocab = build_vocab(&[&t], &[], 1, 500);
+    let mut cfg = CleaningConfig::tiny();
+    cfg.mask_policy = MaskPolicy::AttributeValue;
+    cfg.train.steps = 150;
+    cfg.train.batch_size = 8;
+    cfg.train.peak_lr = 4e-3;
+    let mut rptc = RptC::new(vocab, cfg);
+    rptc.pretrain(&[&t]);
+    (rptc, t)
+}
+
+fn assert_beams_match(fast: &[Hypothesis], reference: &[Hypothesis]) {
+    assert_eq!(fast.len(), reference.len(), "hypothesis count differs");
+    for (i, (f, r)) in fast.iter().zip(reference.iter()).enumerate() {
+        assert_eq!(f.tokens, r.tokens, "hypothesis {i} tokens differ");
+        assert!(
+            (f.score - r.score).abs() <= 1e-4,
+            "hypothesis {i} score drifted: {} vs {}",
+            f.score,
+            r.score
+        );
+    }
+}
+
+#[test]
+fn greedy_cached_matches_reference_on_copy_model() {
+    let (model, mut params) = trained_copy_model();
+    for ids in [vec![10, 9], vec![9, 11], vec![11], vec![9, 10]] {
+        let src = TokenBatch::from_sequences(&[Sequence::from_ids(ids.clone())], 16, 0);
+        let fast = greedy_decode(&model, &mut params, &src, BOS, EOS, 8);
+        let reference = greedy_decode_reference(&model, &mut params, &src, BOS, EOS, 8);
+        assert_eq!(fast, reference, "greedy diverged on src {ids:?}");
+    }
+}
+
+#[test]
+fn beam_cached_matches_reference_on_copy_model() {
+    let (model, mut params) = trained_copy_model();
+    for width in [1, 2, 4] {
+        for ids in [vec![11, 10], vec![9, 10], vec![10]] {
+            let cfg = BeamConfig {
+                width,
+                max_steps: 8,
+                len_penalty: 1.0,
+            };
+            let src = TokenBatch::from_sequences(&[Sequence::from_ids(ids.clone())], 16, 0);
+            let fast = beam_search(&model, &mut params, &src, BOS, EOS, &cfg);
+            let reference = beam_search_reference(&model, &mut params, &src, BOS, EOS, &cfg);
+            assert_beams_match(&fast, &reference);
+        }
+    }
+}
+
+#[test]
+fn decoding_matches_reference_on_denoising_model() {
+    let (mut rptc, t) = trained_denoising_model();
+    let max_len = rptc.config().model.max_len;
+    let max_fill = rptc.config().max_fill_len;
+    let srcs: Vec<TokenBatch> = [0, 2, 5]
+        .iter()
+        .map(|&row| {
+            let seq = rptc.masked_source(t.schema(), t.row(row), 1);
+            TokenBatch::from_sequences(&[seq], max_len, 0)
+        })
+        .collect();
+    let (model, params) = rptc.decode_parts();
+    for (i, src) in srcs.iter().enumerate() {
+        let fast = greedy_decode(model, params, src, BOS, EOS, max_fill);
+        let reference = greedy_decode_reference(model, params, src, BOS, EOS, max_fill);
+        assert_eq!(fast, reference, "greedy diverged on masked row {i}");
+
+        let cfg = BeamConfig {
+            width: 4,
+            max_steps: max_fill,
+            len_penalty: 1.0,
+        };
+        let fast = beam_search(model, params, src, BOS, EOS, &cfg);
+        let reference = beam_search_reference(model, params, src, BOS, EOS, &cfg);
+        assert_beams_match(&fast, &reference);
+    }
+}
+
+/// EOS at step 0: pick the model's own first-step argmax as the "EOS" id,
+/// so both paths must stop immediately with an empty output.
+#[test]
+fn eos_at_step_zero_yields_empty_output_on_both_paths() {
+    let (model, mut params) = trained_copy_model();
+    let src = TokenBatch::from_sequences(&[Sequence::from_ids(vec![10, 9])], 16, 0);
+    // The copy model's first output token for [10, 9] is 10.
+    let first = greedy_decode(&model, &mut params, &src, BOS, EOS, 1);
+    let fake_eos = first[0];
+    let fast = greedy_decode(&model, &mut params, &src, BOS, fake_eos, 8);
+    let reference = greedy_decode_reference(&model, &mut params, &src, BOS, fake_eos, 8);
+    assert!(fast.is_empty());
+    assert!(reference.is_empty());
+
+    let cfg = BeamConfig {
+        width: 3,
+        max_steps: 8,
+        len_penalty: 1.0,
+    };
+    let fast = beam_search(&model, &mut params, &src, BOS, fake_eos, &cfg);
+    let reference = beam_search_reference(&model, &mut params, &src, BOS, fake_eos, &cfg);
+    assert_beams_match(&fast, &reference);
+    assert!(
+        fast.iter().any(|h| h.tokens.is_empty()),
+        "an immediate-EOS hypothesis must survive"
+    );
+}
+
+/// max_steps truncation: with fewer steps than the natural output length,
+/// both paths return the same truncated sequence (and 0 steps → empty).
+#[test]
+fn max_steps_truncation_matches_on_both_paths() {
+    let (model, mut params) = trained_copy_model();
+    let src = TokenBatch::from_sequences(&[Sequence::from_ids(vec![9, 11])], 16, 0);
+    for max_steps in [0, 1, 2] {
+        let fast = greedy_decode(&model, &mut params, &src, BOS, EOS, max_steps);
+        let reference = greedy_decode_reference(&model, &mut params, &src, BOS, EOS, max_steps);
+        assert_eq!(fast, reference);
+        assert!(fast.len() <= max_steps);
+    }
+    let cfg = BeamConfig {
+        width: 2,
+        max_steps: 1,
+        len_penalty: 1.0,
+    };
+    let fast = beam_search(&model, &mut params, &src, BOS, EOS, &cfg);
+    let reference = beam_search_reference(&model, &mut params, &src, BOS, EOS, &cfg);
+    assert_beams_match(&fast, &reference);
+    assert!(fast.iter().all(|h| h.tokens.len() <= 1));
+}
+
+/// KV-cache unit test: each decode step appends exactly one position to
+/// every layer's self-attention K/V, earlier positions stay bit-identical,
+/// and the cross K/V cover the source once and never change.
+#[test]
+fn kv_cache_appends_one_position_per_step() {
+    let (model, mut params) = trained_copy_model();
+    let cfg = model.config().clone();
+    let (h, dh) = (cfg.n_heads, cfg.d_model / cfg.n_heads);
+    let src = TokenBatch::from_sequences(&[Sequence::from_ids(vec![10, 9])], 16, 0);
+    let t_src = src.t;
+
+    let mut state = model.begin_decode(&mut params, &src);
+    assert_eq!(state.width(), 1);
+    assert_eq!(state.decoded_len(), 0);
+    assert_eq!(state.layers().len(), cfg.n_dec_layers);
+    for layer in state.layers() {
+        assert!(layer.self_k.is_none(), "self cache starts empty");
+        assert_eq!(layer.cross_k.shape(), &[h, t_src, dh]);
+        assert_eq!(layer.cross_v.shape(), &[h, t_src, dh]);
+    }
+    let cross_k_before = state.layers()[0].cross_k.data().to_vec();
+
+    let _ = model.decode_step(&mut params, &mut state, &[BOS]);
+    assert_eq!(state.decoded_len(), 1);
+    let k_after_1 = {
+        let layer = &state.layers()[0];
+        let k = layer.self_k.as_ref().expect("one position cached");
+        assert_eq!(k.shape(), &[h, 1, dh]);
+        assert_eq!(layer.self_v.as_ref().unwrap().shape(), &[h, 1, dh]);
+        k.data().to_vec()
+    };
+
+    let _ = model.decode_step(&mut params, &mut state, &[10]);
+    assert_eq!(state.decoded_len(), 2);
+    let layer = &state.layers()[0];
+    let k = layer.self_k.as_ref().unwrap();
+    assert_eq!(k.shape(), &[h, 2, dh]);
+    // position 0 of every head is untouched by the append
+    for head in 0..h {
+        let row = &k.data()[head * 2 * dh..head * 2 * dh + dh];
+        let before = &k_after_1[head * dh..(head + 1) * dh];
+        assert_eq!(row, before, "append rewrote cached position 0, head {head}");
+    }
+    assert_eq!(
+        layer.cross_k.data(),
+        &cross_k_before[..],
+        "cross K must never change across steps"
+    );
+}
+
+/// KV-cache unit test: beam selection replicates/reorders cached rows.
+#[test]
+fn kv_cache_select_beams_replicates_rows() {
+    let (model, mut params) = trained_copy_model();
+    let cfg = model.config().clone();
+    let (h, dh) = (cfg.n_heads, cfg.d_model / cfg.n_heads);
+    let src = TokenBatch::from_sequences(&[Sequence::from_ids(vec![9])], 16, 0);
+
+    let mut state = model.begin_decode(&mut params, &src);
+    let _ = model.decode_step(&mut params, &mut state, &[BOS]);
+    let base_k = state.layers()[0].self_k.as_ref().unwrap().data().to_vec();
+
+    state.select_beams(&[0, 0]);
+    assert_eq!(state.width(), 2);
+    let layer = &state.layers()[0];
+    let k = layer.self_k.as_ref().unwrap();
+    assert_eq!(k.shape(), &[2 * h, 1, dh]);
+    assert_eq!(layer.cross_k.shape()[0], 2 * h);
+    // both replicas carry the parent's rows
+    assert_eq!(&k.data()[..h * dh], &base_k[..]);
+    assert_eq!(&k.data()[h * dh..], &base_k[..]);
+
+    // the widened batch keeps decoding: same token in both rows gives the
+    // same logits row twice
+    let logits = model.decode_step(&mut params, &mut state, &[10, 10]);
+    assert_eq!(logits.shape(), &[2, cfg.vocab_size]);
+    let v = cfg.vocab_size;
+    assert_eq!(&logits.data()[..v], &logits.data()[v..]);
+}
