@@ -10,8 +10,8 @@
 //! `f32` tensors bit-identical after a save/load cycle.
 
 use std::fs;
-use std::io;
-use std::path::Path;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
 
 use rpt_json::{json, Json, JsonError};
 
@@ -20,6 +20,167 @@ use crate::tensor::Tensor;
 
 /// The checkpoint format revision this build writes.
 const FORMAT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Atomic checkpoint I/O
+// ---------------------------------------------------------------------------
+
+/// The filesystem primitives a durable checkpoint write decomposes into.
+///
+/// Production code uses [`StdCheckpointIo`]; crash-safety tests inject
+/// faults through [`FaultyIo`] to prove that whatever step fails, the
+/// previously committed checkpoint at the destination path survives
+/// intact (the write-to-temp → fsync → rename → fsync-dir protocol never
+/// touches the destination except via the atomic rename).
+pub trait CheckpointIo {
+    /// Creates (truncating) `path` and writes `bytes` to it.
+    fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Flushes the file's contents to stable storage.
+    fn sync_file(&mut self, path: &Path) -> io::Result<()>;
+    /// Atomically replaces `to` with `from` (same filesystem).
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Flushes the directory entry (the rename itself) to stable storage.
+    fn sync_dir(&mut self, dir: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default)]
+pub struct StdCheckpointIo;
+
+impl CheckpointIo for StdCheckpointIo {
+    fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::File::create(path)?;
+        f.write_all(bytes)?;
+        f.flush()
+    }
+
+    fn sync_file(&mut self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn sync_dir(&mut self, dir: &Path) -> io::Result<()> {
+        fs::File::open(dir)?.sync_all()
+    }
+}
+
+/// One injectable failure in the atomic-write sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Persist only the first `n` bytes of the payload, then fail — a
+    /// torn write (crash mid-`write`).
+    ShortWrite(usize),
+    /// Fail the fsync of the freshly written temp file.
+    SyncFile,
+    /// Fail the rename into place (crash just before commit).
+    Rename,
+    /// Fail the directory fsync *after* a successful rename (crash just
+    /// after commit: the new checkpoint is already in place).
+    SyncDir,
+}
+
+/// A [`CheckpointIo`] that performs real filesystem operations but
+/// injects one configured [`Fault`] — the fault-injection harness used
+/// by the crash-safety test suite.
+#[derive(Debug)]
+pub struct FaultyIo {
+    inner: StdCheckpointIo,
+    fault: Option<Fault>,
+}
+
+impl FaultyIo {
+    /// An IO layer that will fail once at the configured step.
+    pub fn new(fault: Fault) -> Self {
+        Self {
+            inner: StdCheckpointIo,
+            fault: Some(fault),
+        }
+    }
+
+    /// True once the configured fault has fired.
+    pub fn tripped(&self) -> bool {
+        self.fault.is_none()
+    }
+
+    fn injected(&mut self) -> io::Error {
+        self.fault = None;
+        io::Error::new(io::ErrorKind::Other, "injected checkpoint fault")
+    }
+}
+
+impl CheckpointIo for FaultyIo {
+    fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        if let Some(Fault::ShortWrite(n)) = self.fault {
+            let n = n.min(bytes.len());
+            self.inner.write_file(path, &bytes[..n])?;
+            return Err(self.injected());
+        }
+        self.inner.write_file(path, bytes)
+    }
+
+    fn sync_file(&mut self, path: &Path) -> io::Result<()> {
+        if self.fault == Some(Fault::SyncFile) {
+            return Err(self.injected());
+        }
+        self.inner.sync_file(path)
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.fault == Some(Fault::Rename) {
+            return Err(self.injected());
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn sync_dir(&mut self, dir: &Path) -> io::Result<()> {
+        if self.fault == Some(Fault::SyncDir) {
+            return Err(self.injected());
+        }
+        self.inner.sync_dir(dir)
+    }
+}
+
+/// The sibling temp path an atomic write stages into (`<path>.tmp`).
+pub fn staging_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Durably replaces the file at `path` with `bytes`: write to a sibling
+/// temp file, fsync it, rename it into place, fsync the directory. A
+/// crash (or injected fault) at any point leaves either the old complete
+/// file or the new complete file at `path` — never a torn mixture.
+pub fn atomic_write_with(
+    io: &mut dyn CheckpointIo,
+    path: &Path,
+    bytes: &[u8],
+) -> io::Result<()> {
+    let tmp = staging_path(path);
+    let result = (|| {
+        io.write_file(&tmp, bytes)?;
+        io.sync_file(&tmp)?;
+        io.rename(&tmp, path)?;
+        let dir = match path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d,
+            _ => Path::new("."),
+        };
+        io.sync_dir(dir)
+    })();
+    if result.is_err() {
+        // best-effort cleanup; after a successful rename this is a no-op
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// [`atomic_write_with`] on the real filesystem.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    atomic_write_with(&mut StdCheckpointIo, path, bytes)
+}
 
 /// Errors from checkpoint IO.
 #[derive(Debug)]
@@ -132,9 +293,19 @@ pub fn load_json(store: &mut ParamStore, json: &str) -> Result<(), CheckpointErr
     Ok(())
 }
 
-/// Writes the store to a file.
+/// Writes the store to a file, atomically: a crash mid-save leaves any
+/// previous checkpoint at `path` intact.
 pub fn save_file(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    fs::write(path, to_json(store))?;
+    save_file_with(&mut StdCheckpointIo, store, path)
+}
+
+/// [`save_file`] over an injectable IO layer (for crash-safety tests).
+pub fn save_file_with(
+    io: &mut dyn CheckpointIo,
+    store: &ParamStore,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    atomic_write_with(io, path.as_ref(), to_json(store).as_bytes())?;
     Ok(())
 }
 
@@ -221,6 +392,55 @@ mod tests {
         let n = store2.register("new", Tensor::scalar(7.0));
         load_json(&mut store2, &json).unwrap();
         assert_eq!(store2.value(n).data(), &[7.0]);
+    }
+
+    #[test]
+    fn crash_mid_write_leaves_old_checkpoint_loadable() {
+        // Regression: save_file used to be a bare fs::write, so a crash
+        // mid-write tore the existing checkpoint. Simulate the crash with
+        // a short-write fault and prove the old file still loads.
+        let dir = std::env::temp_dir().join("rpt-serialize-torn-write");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        save_file(&store, &path).unwrap();
+
+        // new values that should never reach disk
+        store.set_value(w, Tensor::from_vec(vec![9.0, 9.0], &[2]).unwrap());
+        let mut io = FaultyIo::new(Fault::ShortWrite(10));
+        let err = save_file_with(&mut io, &store, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+        assert!(io.tripped());
+        assert!(
+            !staging_path(&path).exists(),
+            "failed save left a staging file behind"
+        );
+
+        let mut reloaded = ParamStore::new();
+        let w2 = reloaded.register("w", Tensor::zeros(&[2]));
+        load_file(&mut reloaded, &path).expect("old checkpoint must survive");
+        assert_eq!(reloaded.value(w2).data(), &[1.0, 2.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn successful_atomic_save_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join("rpt-serialize-atomic-ok");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(1.0));
+        save_file(&store, &path).unwrap();
+        store.set_value(w, Tensor::scalar(2.0));
+        save_file(&store, &path).unwrap();
+        assert!(!staging_path(&path).exists());
+        let mut reloaded = ParamStore::new();
+        let w2 = reloaded.register("w", Tensor::zeros(&[1]));
+        load_file(&mut reloaded, &path).unwrap();
+        assert_eq!(reloaded.value(w2).data(), &[2.0]);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
