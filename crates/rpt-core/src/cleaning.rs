@@ -13,6 +13,8 @@
 //! advances as one batched, incremental decoder step (see DESIGN.md,
 //! "Inference fast path").
 
+use std::path::{Path, PathBuf};
+
 use rpt_rng::SmallRng;
 use rpt_rng::SliceRandom;
 use rpt_rng::{Rng, SeedableRng};
@@ -21,9 +23,20 @@ use rpt_nn::{
 };
 use rpt_table::{Schema, Table, TableProfile, Tuple, Value};
 use rpt_tokenizer::{EncodedTuple, EncoderOptions, TupleEncoder, Vocab, BOS, EOS, PAD};
+use rpt_tensor::serialize::CheckpointError;
 use rpt_tensor::ParamStore;
 
-use crate::train::{TrainOpts, Trainer};
+use crate::train::{TrainOpts, Trainer, TRAIN_STATE_FILE};
+
+/// Durable-training options for [`RptC::pretrain_on`]: where to put the
+/// rolling [`TRAIN_STATE_FILE`] and how often to write it.
+#[derive(Debug, Clone)]
+pub struct CheckpointOpts {
+    /// Directory receiving the rolling checkpoint (must exist).
+    pub dir: PathBuf,
+    /// Save every this many completed steps; the final step always saves.
+    pub every: usize,
+}
 
 /// Which corruption to apply during pretraining (§2.2).
 #[derive(Debug, Clone, PartialEq)]
@@ -250,6 +263,40 @@ impl RptC {
     /// Pretrains on the given tables ("just corrupt tuples and optimize a
     /// reconstruction loss"). Returns the per-step loss curve.
     pub fn pretrain(&mut self, tables: &[&Table]) -> Vec<f32> {
+        self.pretrain_on(rpt_par::ThreadPool::global(), tables, None, None)
+            .expect("pretrain without checkpointing cannot fail on IO")
+    }
+
+    /// [`RptC::pretrain_on`] on the process-global thread pool
+    /// (`RPT_THREADS`).
+    pub fn pretrain_resumable(
+        &mut self,
+        tables: &[&Table],
+        checkpoint: Option<&CheckpointOpts>,
+        resume: Option<&Path>,
+    ) -> Result<Vec<f32>, CheckpointError> {
+        self.pretrain_on(rpt_par::ThreadPool::global(), tables, checkpoint, resume)
+    }
+
+    /// Crash-safe resumable pretraining on an explicit thread pool.
+    ///
+    /// With `checkpoint` set, a rolling [`TRAIN_STATE_FILE`] is written
+    /// atomically into the directory every `every` steps (and at the
+    /// final step). The snapshot captures params, Adam `m`/`v`/`t`, both
+    /// RNG streams (`"model"`: shard seeds / masking decisions made
+    /// through `self.rng`; `"batch"`: corpus sampling), the completed-step
+    /// counter, and the loss curve — so `resume` from a checkpoint taken
+    /// at step `k` followed by the remaining `N - k` steps is
+    /// byte-identical to an uninterrupted `N`-step run, at any thread
+    /// count (the data-parallel reduction is already thread-count
+    /// invariant, see DESIGN.md).
+    pub fn pretrain_on(
+        &mut self,
+        pool: &rpt_par::ThreadPool,
+        tables: &[&Table],
+        checkpoint: Option<&CheckpointOpts>,
+        resume: Option<&Path>,
+    ) -> Result<Vec<f32>, CheckpointError> {
         let profiles: Vec<Option<TableProfile>> = tables
             .iter()
             .map(|t| match &self.cfg.mask_policy {
@@ -259,15 +306,28 @@ impl RptC {
                 _ => None,
             })
             .collect();
-        let pool: Vec<(usize, usize)> = tables
+        let corpus: Vec<(usize, usize)> = tables
             .iter()
             .enumerate()
             .flat_map(|(ti, t)| (0..t.len()).map(move |ri| (ti, ri)))
             .collect();
-        assert!(!pool.is_empty(), "pretraining corpus is empty");
+        assert!(!corpus.is_empty(), "pretraining corpus is empty");
 
         let mut trainer = Trainer::new(self.cfg.train.clone(), self.cfg.model.d_model);
-        let mut rng = SmallRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
+        if let Some(ckpt) = checkpoint {
+            trainer.checkpoint_every(ckpt.every);
+        }
+        let mut batch_rng = SmallRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
+        if let Some(path) = resume {
+            let state = trainer.resume_from(&mut self.params, path)?;
+            for (name, s) in &state.rng_streams {
+                match name.as_str() {
+                    "model" => self.rng = SmallRng::restore(*s),
+                    "batch" => batch_rng = SmallRng::restore(*s),
+                    _ => {} // unknown streams are tolerated (forward compat)
+                }
+            }
+        }
         while !trainer.finished() {
             let mut srcs = Vec::with_capacity(self.cfg.train.batch_size);
             let mut tgts = Vec::with_capacity(self.cfg.train.batch_size);
@@ -275,11 +335,11 @@ impl RptC {
             while srcs.len() < self.cfg.train.batch_size && guard < self.cfg.train.batch_size * 20
             {
                 guard += 1;
-                let &(ti, ri) = pool.choose(&mut rng).unwrap();
+                let &(ti, ri) = corpus.choose(&mut batch_rng).unwrap();
                 let schema = tables[ti].schema();
                 let tuple = tables[ti].row(ri);
                 if let Some((src, tgt)) =
-                    self.training_pair(schema, tuple, profiles[ti].as_ref(), &mut rng)
+                    self.training_pair(schema, tuple, profiles[ti].as_ref(), &mut batch_rng)
                 {
                     srcs.push(src);
                     tgts.push(tgt);
@@ -288,10 +348,22 @@ impl RptC {
             if srcs.is_empty() {
                 break;
             }
-            let loss_step = self.denoising_step(&srcs, &tgts, &mut trainer);
-            let _ = loss_step;
+            self.denoising_step_on(pool, &srcs, &tgts, &mut trainer);
+            if trainer.checkpoint_due() {
+                if let Some(ckpt) = checkpoint {
+                    let streams = vec![
+                        ("model".to_string(), self.rng.state()),
+                        ("batch".to_string(), batch_rng.state()),
+                    ];
+                    trainer.save_checkpoint(
+                        &self.params,
+                        streams,
+                        ckpt.dir.join(TRAIN_STATE_FILE),
+                    )?;
+                }
+            }
         }
-        trainer.losses().to_vec()
+        Ok(trainer.losses().to_vec())
     }
 
     /// One optimizer step over prepared (source, target) pairs. Exposed so

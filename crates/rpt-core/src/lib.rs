@@ -27,7 +27,9 @@ pub mod ie;
 pub mod train;
 pub mod vocabulary;
 
-pub use cleaning::{CleaningConfig, CleaningEval, FillResult, Filler, MaskPolicy, RptC};
+pub use cleaning::{
+    CheckpointOpts, CleaningConfig, CleaningEval, FillResult, Filler, MaskPolicy, RptC,
+};
 pub use detect::{detect_errors, DetectionEval, DetectorConfig, Suspect};
 pub use er::{Blocker, Clusters, Consolidator, ErPipeline, Matcher};
 pub use ie::{IeConfig, RptI};

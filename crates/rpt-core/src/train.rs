@@ -1,9 +1,18 @@
 //! The shared training loop: Adam with Noam warmup and global-norm
-//! gradient clipping, reporting a loss curve.
+//! gradient clipping, reporting a loss curve — checkpointable and
+//! resumable (bit-identically) via [`rpt_tensor::serialize::TrainState`].
+
+use std::path::Path;
 
 use rpt_par::ThreadPool;
 use rpt_nn::schedule::linear_warmup;
+use rpt_tensor::serialize::{self, CheckpointError, TrainState};
 use rpt_tensor::{clip_global_norm, Adam, AdamConfig, ParamId, ParamStore, Tape, Tensor, Var};
+
+/// File name of the rolling train-state checkpoint inside a checkpoint
+/// directory. A single rolling file plus atomic replacement means the
+/// newest complete checkpoint always survives a crash.
+pub const TRAIN_STATE_FILE: &str = "train_state.json";
 
 /// Optimization hyperparameters.
 #[derive(Debug, Clone)]
@@ -46,6 +55,15 @@ pub struct Trainer {
     opts: TrainOpts,
     adam: Adam,
     losses: Vec<f32>,
+    ckpt_every: Option<usize>,
+}
+
+fn fresh_adam(opts: &TrainOpts) -> Adam {
+    Adam::new(AdamConfig {
+        lr: linear_warmup(opts.peak_lr, opts.warmup as u64, 1),
+        weight_decay: opts.weight_decay,
+        ..Default::default()
+    })
 }
 
 impl Trainer {
@@ -54,15 +72,12 @@ impl Trainer {
     /// easier to reason about than Noam at the tiny widths this
     /// reproduction uses.)
     pub fn new(opts: TrainOpts, _d_model: usize) -> Self {
-        let adam = Adam::new(AdamConfig {
-            lr: linear_warmup(opts.peak_lr, opts.warmup as u64, 1),
-            weight_decay: opts.weight_decay,
-            ..Default::default()
-        });
+        let adam = fresh_adam(&opts);
         Self {
             opts,
             adam,
             losses: Vec::new(),
+            ckpt_every: None,
         }
     }
 
@@ -177,6 +192,85 @@ impl Trainer {
     /// True once the configured number of steps has been taken.
     pub fn finished(&self) -> bool {
         self.steps_done() >= self.opts.steps
+    }
+
+    /// Requests a checkpoint every `every` completed steps (`0` disables).
+    /// The final step always checkpoints, so a finished run's state can
+    /// itself be resumed (e.g. to train further).
+    pub fn checkpoint_every(&mut self, every: usize) {
+        self.ckpt_every = if every == 0 { None } else { Some(every) };
+    }
+
+    /// True when the training loop should save a checkpoint now: a
+    /// cadence is configured and the current step hits it (or the run
+    /// just finished).
+    pub fn checkpoint_due(&self) -> bool {
+        match self.ckpt_every {
+            Some(every) => {
+                self.steps_done() > 0 && (self.steps_done() % every == 0 || self.finished())
+            }
+            None => false,
+        }
+    }
+
+    /// Snapshots everything this trainer needs to resume bit-identically:
+    /// Adam `m`/`v`/`t` and the loss curve, plus whatever named RNG
+    /// streams the caller's loop depends on.
+    pub fn train_state(
+        &self,
+        params: &ParamStore,
+        rng_streams: Vec<(String, [u64; 4])>,
+    ) -> TrainState {
+        TrainState {
+            adam: Some(self.adam.export_state(params)),
+            rng_streams,
+            steps_done: self.steps_done() as u64,
+            losses: self.losses.clone(),
+        }
+    }
+
+    /// Restores optimizer state and the loss curve from a snapshot.
+    /// Params-only (v1) snapshots reset the optimizer: moments cleanly
+    /// reinitialize to zero-on-first-use and the loss curve starts empty.
+    pub fn restore_state(
+        &mut self,
+        params: &ParamStore,
+        state: &TrainState,
+    ) -> Result<(), CheckpointError> {
+        match &state.adam {
+            Some(a) => self
+                .adam
+                .import_state(params, a)
+                .map_err(CheckpointError::Mismatch)?,
+            None => self.adam = fresh_adam(&self.opts),
+        }
+        self.losses = state.losses.clone();
+        Ok(())
+    }
+
+    /// Loads a checkpoint file: parameters into `params`, optimizer state
+    /// and loss curve into this trainer. Returns the full state so the
+    /// caller can restore its RNG streams.
+    pub fn resume_from(
+        &mut self,
+        params: &mut ParamStore,
+        path: impl AsRef<Path>,
+    ) -> Result<TrainState, CheckpointError> {
+        let state = serialize::load_train_file(params, path)?;
+        self.restore_state(params, &state)?;
+        Ok(state)
+    }
+
+    /// Atomically writes the current state (see [`Trainer::train_state`])
+    /// to `path`.
+    pub fn save_checkpoint(
+        &self,
+        params: &ParamStore,
+        rng_streams: Vec<(String, [u64; 4])>,
+        path: impl AsRef<Path>,
+    ) -> Result<(), CheckpointError> {
+        let state = self.train_state(params, rng_streams);
+        serialize::save_train_file(params, &state, path)
     }
 }
 

@@ -41,7 +41,8 @@ pub mod serialize;
 pub mod tape;
 pub mod tensor;
 
-pub use optim::{clip_global_norm, Adam, AdamConfig, ParamId, ParamStore, Sgd};
+pub use optim::{clip_global_norm, Adam, AdamConfig, AdamState, ParamId, ParamStore, Sgd};
+pub use serialize::{CheckpointError, TrainState};
 pub use tape::{Gradients, Tape, Var};
 pub use tensor::Tensor;
 

@@ -228,6 +228,18 @@ impl Default for AdamConfig {
     }
 }
 
+/// A checkpointable snapshot of Adam's mutable state: the step counter
+/// and, for every parameter that has received a gradient, its first and
+/// second moments keyed by parameter name (names survive re-registration
+/// order changes; raw indices would not).
+#[derive(Debug, Clone, Default)]
+pub struct AdamState {
+    /// Number of updates applied.
+    pub t: u64,
+    /// `(param name, m, v)` for every parameter with moments.
+    pub moments: Vec<(String, Tensor, Tensor)>,
+}
+
 /// Adam / AdamW optimizer.
 pub struct Adam {
     cfg: AdamConfig,
@@ -260,6 +272,57 @@ impl Adam {
     /// Number of updates applied so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Snapshots the mutable optimizer state for checkpointing. Tensors
+    /// are copy-on-write, so this is cheap and later `step`s cannot
+    /// mutate the snapshot.
+    pub fn export_state(&self, params: &ParamStore) -> AdamState {
+        let mut moments = Vec::new();
+        for idx in 0..self.m.len().min(params.len()) {
+            if let (Some(m), Some(v)) = (&self.m[idx], &self.v[idx]) {
+                moments.push((
+                    params.name(ParamId(idx)).to_string(),
+                    m.clone(),
+                    v.clone(),
+                ));
+            }
+        }
+        AdamState { t: self.t, moments }
+    }
+
+    /// Restores a snapshot taken by [`Adam::export_state`]. Any existing
+    /// moments are discarded first, so a partial snapshot (or
+    /// [`AdamState::default`], for params-only checkpoints) leaves the
+    /// remaining moments cleanly reinitialized to zero-on-first-use.
+    /// Moments for names absent from `params` are ignored (forward
+    /// compatibility, mirroring parameter loading).
+    pub fn import_state(
+        &mut self,
+        params: &ParamStore,
+        state: &AdamState,
+    ) -> Result<(), String> {
+        let mut m = vec![None; params.len()];
+        let mut v = vec![None; params.len()];
+        for (name, sm, sv) in &state.moments {
+            let Some(id) = params.find(name) else { continue };
+            let shape = params.value(id).shape();
+            if sm.shape() != shape || sv.shape() != shape {
+                return Err(format!(
+                    "adam moments for {} have shape {:?}/{:?} but the parameter is {:?}",
+                    name,
+                    sm.shape(),
+                    sv.shape(),
+                    shape
+                ));
+            }
+            m[id.0] = Some(sm.clone());
+            v[id.0] = Some(sv.clone());
+        }
+        self.m = m;
+        self.v = v;
+        self.t = state.t;
+        Ok(())
     }
 
     /// Applies one Adam update in place.
@@ -360,6 +423,92 @@ mod tests {
             opt.step(&mut params, &g);
         }
         assert!(params.value(w).data()[0] < 5.0 * 0.7);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_identically() {
+        // drive two quadratics so both params get moments
+        let build = || {
+            let mut params = ParamStore::new();
+            params.register("a", Tensor::scalar(4.0));
+            params.register("b", Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap());
+            params
+        };
+        let grads = |params: &ParamStore, step: u64| {
+            vec![
+                (
+                    ParamId(0),
+                    Tensor::scalar(params.value(ParamId(0)).data()[0] - 1.0),
+                ),
+                (
+                    ParamId(1),
+                    Tensor::from_vec(
+                        params
+                            .value(ParamId(1))
+                            .data()
+                            .iter()
+                            .map(|x| x + step as f32 * 0.01)
+                            .collect(),
+                        &[2],
+                    )
+                    .unwrap(),
+                ),
+            ]
+        };
+        let cfg = AdamConfig {
+            lr: 0.05,
+            weight_decay: 0.01,
+            ..Default::default()
+        };
+
+        // straight-through run
+        let mut p1 = build();
+        let mut o1 = Adam::new(cfg.clone());
+        for s in 0..20 {
+            let g = grads(&p1, s);
+            o1.step(&mut p1, &g);
+        }
+
+        // run 10, snapshot, restore into a fresh optimizer, run 10 more
+        let mut p2 = build();
+        let mut o2 = Adam::new(cfg.clone());
+        for s in 0..10 {
+            let g = grads(&p2, s);
+            o2.step(&mut p2, &g);
+        }
+        let snap = o2.export_state(&p2);
+        assert_eq!(snap.t, 10);
+        assert_eq!(snap.moments.len(), 2);
+        let mut o3 = Adam::new(cfg);
+        o3.import_state(&p2, &snap).unwrap();
+        for s in 10..20 {
+            let g = grads(&p2, s);
+            o3.step(&mut p2, &g);
+        }
+
+        for id in [ParamId(0), ParamId(1)] {
+            for (x, y) in p1.value(id).data().iter().zip(p2.value(id).data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "resume diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn adam_import_rejects_shape_mismatch_and_skips_unknown() {
+        let mut params = ParamStore::new();
+        params.register("w", Tensor::zeros(&[2]));
+        let mut opt = Adam::new(AdamConfig::default());
+        let bad = AdamState {
+            t: 3,
+            moments: vec![("w".into(), Tensor::zeros(&[3]), Tensor::zeros(&[3]))],
+        };
+        assert!(opt.import_state(&params, &bad).is_err());
+        let unknown = AdamState {
+            t: 5,
+            moments: vec![("gone".into(), Tensor::zeros(&[1]), Tensor::zeros(&[1]))],
+        };
+        opt.import_state(&params, &unknown).unwrap();
+        assert_eq!(opt.steps(), 5);
     }
 
     #[test]

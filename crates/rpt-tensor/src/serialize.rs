@@ -1,13 +1,25 @@
-//! Parameter checkpointing: save/load a [`ParamStore`] as JSON.
+//! Checkpointing: save/load a [`ParamStore`] (and optionally the full
+//! training state) as JSON, atomically.
 //!
 //! JSON is verbose but human-inspectable and needs no dependencies beyond
 //! the in-tree `rpt-json`; the models in this reproduction are small (well
-//! under a million scalars), so file size is not a concern. The format is
-//! unchanged from the original `serde_json` emitter —
+//! under a million scalars), so file size is not a concern. The params
+//! format is unchanged from the original `serde_json` emitter —
 //! `{"format_version":1,"params":[{"name":...,"shape":[...],"data":[...]}]}` —
 //! so checkpoints written before the migration load identically. Floats
 //! are written with shortest round-trip decimal encoding, which makes
 //! `f32` tensors bit-identical after a save/load cycle.
+//!
+//! Two extensions support crash-safe resumable training (see DESIGN.md,
+//! "Durable training state"):
+//!
+//! * **[`TrainState`]** (format_version 2) adds a `"train"` object with
+//!   Adam's `m`/`v`/`t`, named RNG stream states, the completed-step
+//!   counter, and the loss curve — while keeping `"params"` readable by
+//!   v1 loaders, and v1 files readable here.
+//! * **Atomic writes**: every save goes write-temp → fsync → rename →
+//!   fsync-dir through the [`CheckpointIo`] trait, so a crash at any
+//!   point leaves a complete old or complete new file, never a torn one.
 
 use std::fs;
 use std::io::{self, Write as _};
@@ -15,7 +27,7 @@ use std::path::{Path, PathBuf};
 
 use rpt_json::{json, Json, JsonError};
 
-use crate::optim::ParamStore;
+use crate::optim::{AdamState, ParamStore};
 use crate::tensor::Tensor;
 
 /// The checkpoint format revision this build writes.
@@ -222,29 +234,59 @@ fn structure(msg: impl Into<String>) -> CheckpointError {
     CheckpointError::Mismatch(msg.into())
 }
 
-/// Serializes every parameter of `store` to a JSON string.
-pub fn to_json(store: &ParamStore) -> String {
-    let params: Vec<Json> = store
+fn shape_json(shape: &[usize]) -> Vec<Json> {
+    shape.iter().map(|&d| Json::from(d)).collect()
+}
+
+fn floats_json(data: &[f32]) -> Vec<Json> {
+    data.iter().map(|&x| Json::from(x)).collect()
+}
+
+fn param_records(store: &ParamStore) -> Vec<Json> {
+    store
         .iter()
         .map(|(name, t)| {
             json!({
                 "name": name,
-                "shape": t.shape().iter().map(|&d| Json::from(d)).collect::<Vec<_>>(),
-                "data": t.data().iter().map(|&x| Json::from(x)).collect::<Vec<_>>(),
+                "shape": shape_json(t.shape()),
+                "data": floats_json(t.data()),
             })
         })
-        .collect();
+        .collect()
+}
+
+/// Serializes every parameter of `store` to a JSON string.
+pub fn to_json(store: &ParamStore) -> String {
     json!({
         "format_version": FORMAT_VERSION,
-        "params": params,
+        "params": param_records(store),
     })
     .to_string()
 }
 
-/// Loads parameter values from JSON into an existing store, matching by
-/// name. Every parameter in the store must be present with the same shape.
-pub fn load_json(store: &mut ParamStore, json: &str) -> Result<(), CheckpointError> {
-    let doc = Json::parse(json)?;
+fn parse_shape(record: &Json, name: &str, key: &str) -> Result<Vec<usize>, CheckpointError> {
+    record
+        .get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| structure(format!("param {name} without {key}")))?
+        .iter()
+        .map(|d| d.as_u64().map(|d| d as usize))
+        .collect::<Option<_>>()
+        .ok_or_else(|| structure(format!("param {name} has non-integer {key}")))
+}
+
+fn parse_floats(record: &Json, name: &str, key: &str) -> Result<Vec<f32>, CheckpointError> {
+    record
+        .get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| structure(format!("param {name} without {key}")))?
+        .iter()
+        .map(|x| x.as_f64().map(|x| x as f32))
+        .collect::<Option<_>>()
+        .ok_or_else(|| structure(format!("param {name} has non-numeric {key}")))
+}
+
+fn load_params_doc(store: &mut ParamStore, doc: &Json) -> Result<(), CheckpointError> {
     doc.get("format_version")
         .and_then(Json::as_u64)
         .ok_or_else(|| structure("missing format_version"))?;
@@ -257,22 +299,8 @@ pub fn load_json(store: &mut ParamStore, json: &str) -> Result<(), CheckpointErr
             .get("name")
             .and_then(Json::as_str)
             .ok_or_else(|| structure("param record without name"))?;
-        let shape: Vec<usize> = record
-            .get("shape")
-            .and_then(Json::as_array)
-            .ok_or_else(|| structure(format!("param {name} without shape")))?
-            .iter()
-            .map(|d| d.as_u64().map(|d| d as usize))
-            .collect::<Option<_>>()
-            .ok_or_else(|| structure(format!("param {name} has non-integer shape")))?;
-        let data: Vec<f32> = record
-            .get("data")
-            .and_then(Json::as_array)
-            .ok_or_else(|| structure(format!("param {name} without data")))?
-            .iter()
-            .map(|x| x.as_f64().map(|x| x as f32))
-            .collect::<Option<_>>()
-            .ok_or_else(|| structure(format!("param {name} has non-numeric data")))?;
+        let shape = parse_shape(record, name, "shape")?;
+        let data = parse_floats(record, name, "data")?;
 
         let Some(id) = store.find(name) else {
             // Extra params in the file are tolerated (forward compat).
@@ -291,6 +319,14 @@ pub fn load_json(store: &mut ParamStore, json: &str) -> Result<(), CheckpointErr
         store.set_value(id, t);
     }
     Ok(())
+}
+
+/// Loads parameter values from JSON into an existing store, matching by
+/// name. Every parameter in the store must be present with the same shape.
+/// Accepts both params-only (v1) and full train-state (v2) checkpoints.
+pub fn load_json(store: &mut ParamStore, json: &str) -> Result<(), CheckpointError> {
+    let doc = Json::parse(json)?;
+    load_params_doc(store, &doc)
 }
 
 /// Writes the store to a file, atomically: a crash mid-save leaves any
@@ -313,6 +349,241 @@ pub fn save_file_with(
 pub fn load_file(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
     let json = fs::read_to_string(path)?;
     load_json(store, &json)
+}
+
+// ---------------------------------------------------------------------------
+// Full training-state checkpoints (format_version 2)
+// ---------------------------------------------------------------------------
+
+/// The checkpoint format revision full train-state checkpoints use.
+const TRAIN_FORMAT_VERSION: u32 = 2;
+
+/// Everything beyond parameter values a training run needs to resume
+/// bit-identically: Adam's moments and step counter, the RNG streams that
+/// drive batching/dropout, the completed-step count, and the loss curve.
+///
+/// Versioning rules: a v2 file is `{"format_version":2, "params":[...],
+/// "train":{...}}`. The `params` array is byte-compatible with v1, so
+/// params-only loaders ([`load_json`]) read v2 files unchanged, and v1
+/// files load here as a default `TrainState` (no moments — they
+/// reinitialize cleanly — no RNG streams, zero completed steps).
+#[derive(Debug, Clone, Default)]
+pub struct TrainState {
+    /// Optimizer state; `None` for params-only (v1) checkpoints.
+    pub adam: Option<AdamState>,
+    /// Named xoshiro256++ states (e.g. `"model"`, `"batch"`), serialized
+    /// as hex words so full-range `u64`s survive JSON exactly.
+    pub rng_streams: Vec<(String, [u64; 4])>,
+    /// Optimizer steps completed when the snapshot was taken.
+    pub steps_done: u64,
+    /// Loss recorded at each completed step.
+    pub losses: Vec<f32>,
+}
+
+/// Serializes parameters plus full training state (format_version 2).
+pub fn train_state_to_json(store: &ParamStore, state: &TrainState) -> String {
+    let adam = match &state.adam {
+        None => Json::Null,
+        Some(a) => json!({
+            "t": a.t,
+            "moments": a
+                .moments
+                .iter()
+                .map(|(name, m, v)| {
+                    json!({
+                        "name": name.as_str(),
+                        "shape": shape_json(m.shape()),
+                        "m": floats_json(m.data()),
+                        "v": floats_json(v.data()),
+                    })
+                })
+                .collect::<Vec<_>>(),
+        }),
+    };
+    let rng: Vec<Json> = state
+        .rng_streams
+        .iter()
+        .map(|(name, s)| {
+            json!({
+                "name": name.as_str(),
+                "state": s
+                    .iter()
+                    .map(|w| Json::from(format!("{w:#x}")))
+                    .collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    json!({
+        "format_version": TRAIN_FORMAT_VERSION,
+        "params": param_records(store),
+        "train": {
+            "adam": adam,
+            "rng": rng,
+            "steps_done": state.steps_done,
+            "losses": floats_json(&state.losses),
+        },
+    })
+    .to_string()
+}
+
+fn parse_adam(store: &ParamStore, doc: &Json) -> Result<AdamState, CheckpointError> {
+    let t = doc
+        .get("t")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| structure("adam state without step counter t"))?;
+    let mut moments = Vec::new();
+    for record in doc
+        .get("moments")
+        .and_then(Json::as_array)
+        .ok_or_else(|| structure("adam state without moments array"))?
+    {
+        let name = record
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| structure("adam moment record without name"))?;
+        let shape = parse_shape(record, name, "shape")?;
+        let m = parse_floats(record, name, "m")?;
+        let v = parse_floats(record, name, "v")?;
+        let m = Tensor::from_vec(m, &shape)
+            .map_err(|e| structure(format!("adam m for {name}: {e}")))?;
+        let v = Tensor::from_vec(v, &shape)
+            .map_err(|e| structure(format!("adam v for {name}: {e}")))?;
+        if let Some(id) = store.find(name) {
+            if store.value(id).shape() != shape.as_slice() {
+                return Err(structure(format!(
+                    "adam moments for {} have shape {:?} but the parameter is {:?}",
+                    name,
+                    shape,
+                    store.value(id).shape()
+                )));
+            }
+        }
+        moments.push((name.to_string(), m, v));
+    }
+    Ok(AdamState { t, moments })
+}
+
+fn parse_rng_streams(doc: &Json) -> Result<Vec<(String, [u64; 4])>, CheckpointError> {
+    let mut streams = Vec::new();
+    for record in doc
+        .as_array()
+        .ok_or_else(|| structure("train.rng is not an array"))?
+    {
+        let name = record
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| structure("rng stream without name"))?;
+        let words = record
+            .get("state")
+            .and_then(Json::as_array)
+            .ok_or_else(|| structure(format!("rng stream {name} without state")))?;
+        if words.len() != 4 {
+            return Err(structure(format!(
+                "rng stream {name} has {} state words, expected 4",
+                words.len()
+            )));
+        }
+        let mut state = [0u64; 4];
+        for (slot, w) in state.iter_mut().zip(words) {
+            let hex = w
+                .as_str()
+                .and_then(|s| s.strip_prefix("0x"))
+                .ok_or_else(|| structure(format!("rng stream {name} has a non-hex word")))?;
+            *slot = u64::from_str_radix(hex, 16)
+                .map_err(|_| structure(format!("rng stream {name} has a malformed word")))?;
+        }
+        if state.iter().all(|&w| w == 0) {
+            return Err(structure(format!(
+                "rng stream {name} has an all-zero (invalid xoshiro) state"
+            )));
+        }
+        streams.push((name.to_string(), state));
+    }
+    Ok(streams)
+}
+
+/// Loads parameters into `store` and returns the training state. v1
+/// (params-only) checkpoints yield `TrainState::default()` — Adam moments
+/// are cleanly reinitialized by the resuming trainer.
+pub fn load_train_json(
+    store: &mut ParamStore,
+    json: &str,
+) -> Result<TrainState, CheckpointError> {
+    let doc = Json::parse(json)?;
+    load_params_doc(store, &doc)?;
+    let Some(train) = doc.get("train") else {
+        return Ok(TrainState::default());
+    };
+    let adam = match train.get("adam") {
+        None | Some(Json::Null) => None,
+        Some(a) => Some(parse_adam(store, a)?),
+    };
+    let rng_streams = match train.get("rng") {
+        None => Vec::new(),
+        Some(r) => parse_rng_streams(r)?,
+    };
+    let steps_done = train
+        .get("steps_done")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| structure("train state without steps_done"))?;
+    let losses: Vec<f32> = train
+        .get("losses")
+        .and_then(Json::as_array)
+        .ok_or_else(|| structure("train state without losses"))?
+        .iter()
+        .map(|x| x.as_f64().map(|x| x as f32))
+        .collect::<Option<_>>()
+        .ok_or_else(|| structure("train state has non-numeric losses"))?;
+    if losses.len() as u64 != steps_done {
+        return Err(structure(format!(
+            "train state records {} losses for {} completed steps",
+            losses.len(),
+            steps_done
+        )));
+    }
+    if let Some(a) = &adam {
+        if a.t != steps_done {
+            return Err(structure(format!(
+                "adam step counter {} disagrees with steps_done {}",
+                a.t, steps_done
+            )));
+        }
+    }
+    Ok(TrainState {
+        adam,
+        rng_streams,
+        steps_done,
+        losses,
+    })
+}
+
+/// Atomically writes a full train-state checkpoint.
+pub fn save_train_file(
+    store: &ParamStore,
+    state: &TrainState,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    save_train_file_with(&mut StdCheckpointIo, store, state, path)
+}
+
+/// [`save_train_file`] over an injectable IO layer (for crash-safety tests).
+pub fn save_train_file_with(
+    io: &mut dyn CheckpointIo,
+    store: &ParamStore,
+    state: &TrainState,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    atomic_write_with(io, path.as_ref(), train_state_to_json(store, state).as_bytes())?;
+    Ok(())
+}
+
+/// Loads a full train-state checkpoint file.
+pub fn load_train_file(
+    store: &mut ParamStore,
+    path: impl AsRef<Path>,
+) -> Result<TrainState, CheckpointError> {
+    let json = fs::read_to_string(path)?;
+    load_train_json(store, &json)
 }
 
 #[cfg(test)]
