@@ -10,14 +10,17 @@
 #    an env-var plumbing check for RPT_THREADS).
 # 3. A fast-mode smoke run of the decode microbench, checking the fast
 #    path still beats the reference and the artifact gets written.
+# 4. A crash-recovery smoke drive of the CLI: train with a checkpoint
+#    directory, then resume from the rolling train-state file.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline
+cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
 RPT_THREADS=4 cargo test -q --offline --test parallel_equivalence
 RPT_THREADS=4 cargo test -q --offline --test decode_equivalence
+RPT_THREADS=4 cargo test -q --offline --release --test resume_equivalence
 
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -25,6 +28,36 @@ RPT_BENCH_FAST=1 RPT_BENCH_DIR="$smoke_dir" \
     cargo bench -q --offline -p rpt-bench --bench micro -- decode
 test -s "$smoke_dir/bench_decode.json" || {
     echo "verify: decode bench artifact missing" >&2
+    exit 1
+}
+
+# Crash-recovery smoke drive: checkpointed training must leave a rolling
+# train-state file, and --resume must accept it and finish the run.
+cat > "$smoke_dir/toy.csv" <<'CSV'
+city,country,zip
+paris,france,75001
+lyon,france,69001
+berlin,germany,10115
+munich,germany,80331
+hamburg,germany,20095
+madrid,spain,28001
+seville,spain,41001
+paris,france,
+rome,italy,00100
+naples,italy,80100
+CSV
+./target/release/rpt clean "$smoke_dir/toy.csv" --steps 40 \
+    --checkpoint-dir "$smoke_dir/ckpt" --output "$smoke_dir/out1.csv" >/dev/null
+test -s "$smoke_dir/ckpt/train_state.json" || {
+    echo "verify: rolling train-state checkpoint missing" >&2
+    exit 1
+}
+./target/release/rpt clean "$smoke_dir/toy.csv" --steps 80 \
+    --checkpoint-dir "$smoke_dir/ckpt" \
+    --resume "$smoke_dir/ckpt/train_state.json" \
+    --output "$smoke_dir/out2.csv" >/dev/null
+test -s "$smoke_dir/out2.csv" || {
+    echo "verify: resumed clean run produced no output" >&2
     exit 1
 }
 

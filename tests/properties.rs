@@ -5,8 +5,11 @@
 //! hundred random cases from a fixed seed — failures reproduce exactly.
 
 use rpt::core::er::transitive_closure;
+use rpt::core::train::{TrainOpts, Trainer};
 use rpt::nn::metrics::{numeric_closeness, token_f1, BinaryConfusion};
 use rpt::table::{csv, Schema, Table, Value};
+use rpt::tensor::serialize::{load_train_json, to_json, train_state_to_json};
+use rpt::tensor::{AdamState, ParamStore, Tensor, TrainState};
 use rpt::tokenizer::{
     normalize, EncoderOptions, TupleEncoder, Vocab, VocabBuilder, ATTR, MASK, NUM_SPECIAL, VAL,
 };
@@ -308,6 +311,112 @@ fn numeric_closeness_properties() {
         assert!((0.0..=1.0).contains(&c), "case {case}");
         assert!((c - numeric_closeness(b, a)).abs() < 1e-9, "case {case}");
         assert!((numeric_closeness(a, a) - 1.0).abs() < 1e-12, "case {case}");
+    }
+}
+
+/// Full train-state checkpoints round-trip bit-exactly: random params,
+/// Adam moments, full-range RNG words (including values above `i64::MAX`,
+/// which would be lossy as JSON numbers), and loss curves all survive a
+/// serialize → parse cycle with every bit intact.
+#[test]
+fn train_state_roundtrip_is_bit_exact() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7E);
+    for case in 0..CASES {
+        let n_params = rng.gen_range(1..4usize);
+        let mut store = ParamStore::new();
+        let mut state = TrainState::default();
+        let mut moments = Vec::new();
+        for p in 0..n_params {
+            let len = rng.gen_range(1..6usize);
+            let tensor = |rng: &mut SmallRng| {
+                let data: Vec<f32> = (0..len)
+                    .map(|_| f32::from_bits(rng.gen::<u32>()))
+                    .map(|x| if x.is_finite() { x } else { 0.125 })
+                    .collect();
+                Tensor::from_vec(data, &[len]).unwrap()
+            };
+            let name = format!("p{p}");
+            store.register(&name, tensor(&mut rng));
+            moments.push((name, tensor(&mut rng), tensor(&mut rng)));
+        }
+        state.steps_done = rng.gen_range(0..50u64);
+        state.adam = Some(AdamState {
+            t: state.steps_done,
+            moments,
+        });
+        state.losses = (0..state.steps_done)
+            .map(|_| rng.gen_range(0.0..20.0f64) as f32)
+            .collect();
+        for s in 0..rng.gen_range(0..3usize) {
+            let mut words = [0u64; 4];
+            while words.iter().all(|&w| w == 0) {
+                words = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+            }
+            state.rng_streams.push((format!("s{s}"), words));
+        }
+
+        let doc = train_state_to_json(&store, &state);
+        let mut store2 = ParamStore::new();
+        for (name, t) in store.iter() {
+            store2.register(name, Tensor::zeros(t.shape()));
+        }
+        let back = load_train_json(&mut store2, &doc).unwrap();
+
+        for ((_, a), (_, b)) in store.iter().zip(store2.iter()) {
+            let bits = |t: &Tensor| t.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(a), bits(b), "case {case}: param values drifted");
+        }
+        let adam = back.adam.as_ref().unwrap();
+        let orig = state.adam.as_ref().unwrap();
+        assert_eq!(adam.t, orig.t, "case {case}");
+        assert_eq!(adam.moments.len(), orig.moments.len(), "case {case}");
+        for ((na, ma, va), (nb, mb, vb)) in orig.moments.iter().zip(&adam.moments) {
+            let bits = |t: &Tensor| t.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(na, nb, "case {case}");
+            assert_eq!(bits(ma), bits(mb), "case {case}: adam m drifted");
+            assert_eq!(bits(va), bits(vb), "case {case}: adam v drifted");
+        }
+        assert_eq!(back.rng_streams, state.rng_streams, "case {case}");
+        assert_eq!(back.steps_done, state.steps_done, "case {case}");
+        assert_eq!(
+            back.losses.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            state.losses.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "case {case}: loss curve drifted"
+        );
+    }
+}
+
+/// Params-only (v1) checkpoints stay loadable as training state: they
+/// yield a default `TrainState`, and restoring that into a `Trainer`
+/// leaves Adam freshly reinitialized — no moments, step counter zero.
+#[test]
+fn params_only_checkpoint_resumes_with_fresh_optimizer() {
+    let mut rng = SmallRng::seed_from_u64(0xF0F0);
+    for case in 0..16 {
+        let len = rng.gen_range(1..5usize);
+        let mut store = ParamStore::new();
+        let data: Vec<f32> = (0..len).map(|_| rng.gen_range(-2.0..2.0f64) as f32).collect();
+        store.register("w", Tensor::from_vec(data.clone(), &[len]).unwrap());
+        let v1 = to_json(&store); // format_version 1, no "train" object
+
+        let mut store2 = ParamStore::new();
+        store2.register("w", Tensor::zeros(&[len]));
+        let state = load_train_json(&mut store2, &v1).unwrap();
+        assert!(state.adam.is_none(), "case {case}");
+        assert!(state.rng_streams.is_empty(), "case {case}");
+        assert_eq!(state.steps_done, 0, "case {case}");
+        assert!(state.losses.is_empty(), "case {case}");
+
+        let mut trainer = Trainer::new(TrainOpts::default(), 16);
+        trainer.restore_state(&store2, &state).unwrap();
+        let resumed = trainer.train_state(&store2, Vec::new());
+        let adam = resumed.adam.as_ref().unwrap();
+        assert_eq!(adam.t, 0, "case {case}: fresh optimizer must start at t=0");
+        assert!(
+            adam.moments.is_empty(),
+            "case {case}: moments must reinitialize lazily, not from stale state"
+        );
+        assert!(trainer.losses().is_empty(), "case {case}");
     }
 }
 
