@@ -255,7 +255,7 @@ fn bench_parallel() {
     root.insert("runs".into(), rpt_json::Json::Array(entries));
     root.insert("speedup_2".into(), rpt_json::Json::from(medians[0] / medians[1]));
     root.insert("speedup_4".into(), rpt_json::Json::from(medians[0] / medians[2]));
-    rpt_bench::write_artifact("bench_parallel", &rpt_json::Json::Object(root));
+    rpt_bench::emit_artifact("bench_parallel", &rpt_json::Json::Object(root));
 }
 
 /// Decode throughput: KV-cached incremental decoding vs. the full-prefix
@@ -356,7 +356,7 @@ fn bench_decode() {
     root.insert("beam_width".into(), rpt_json::Json::from(WIDTH as f64));
     root.insert("greedy".into(), greedy);
     root.insert("beam".into(), beam);
-    rpt_bench::write_artifact("bench_decode", &rpt_json::Json::Object(root));
+    rpt_bench::emit_artifact("bench_decode", &rpt_json::Json::Object(root));
 }
 
 fn main() {

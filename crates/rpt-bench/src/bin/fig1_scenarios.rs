@@ -12,7 +12,7 @@
 
 use rpt_rng::SmallRng;
 use rpt_rng::SeedableRng;
-use rpt_bench::{write_artifact, Workbench};
+use rpt_bench::{emit_artifact, Workbench};
 use rpt_core::cleaning::{CleaningConfig, Filler, MaskPolicy, RptC};
 use rpt_core::er::{infer_match_patterns, Matcher, MatcherConfig};
 use rpt_core::ie::{infer_attribute, question_for, IeConfig, RptI};
@@ -202,6 +202,6 @@ fn main() {
         }),
     );
 
-    write_artifact("fig1_scenarios", &rpt_json::Json::Object(artifact));
+    emit_artifact("fig1_scenarios", &rpt_json::Json::Object(artifact));
     println!("\ntotal {:.0?}", t0.elapsed());
 }

@@ -9,7 +9,7 @@
 use rpt_rng::SmallRng;
 use rpt_rng::SliceRandom;
 use rpt_rng::SeedableRng;
-use rpt_bench::{f2, write_artifact, Workbench};
+use rpt_bench::{f2, emit_artifact, Workbench};
 use rpt_core::cleaning::{CleaningConfig, MaskPolicy, RptC};
 use rpt_core::train::TrainOpts;
 use rpt_nn::metrics::Mean;
@@ -80,7 +80,7 @@ fn main() {
         series.push(rpt_json::json!({"mask_rate": rate, "token_f1": f1.get(), "exact": exact.get(), "n": f1.count()}));
     }
 
-    write_artifact(
+    emit_artifact(
         "fig3_denoising",
         &rpt_json::json!({
             "experiment": "fig3_denoising",

@@ -12,7 +12,7 @@
 //! * `token-mask`    — BERT-style token masking only
 //! * `fd-aware`      — value masking restricted to FD-determined columns
 
-use rpt_bench::{f2, write_artifact, Workbench};
+use rpt_bench::{f2, emit_artifact, Workbench};
 use rpt_core::cleaning::{evaluate_fill, CleaningConfig, MaskPolicy, RptC};
 use rpt_core::train::TrainOpts;
 use rpt_tokenizer::EncoderOptions;
@@ -88,7 +88,7 @@ fn main() {
         }));
     }
 
-    write_artifact(
+    emit_artifact(
         "fig4_ablation",
         &rpt_json::json!({
             "experiment": "fig4_ablation",

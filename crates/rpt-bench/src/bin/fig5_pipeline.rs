@@ -6,7 +6,7 @@
 
 use rpt_rng::SmallRng;
 use rpt_rng::SeedableRng;
-use rpt_bench::{f2, write_artifact, Workbench};
+use rpt_bench::{f2, emit_artifact, Workbench};
 use rpt_core::er::{
     calibrate_threshold_f1, Blocker, Consolidator, ErPipeline, Matcher, MatcherConfig,
 };
@@ -156,7 +156,7 @@ fn main() {
         }
     );
 
-    write_artifact(
+    emit_artifact(
         "fig5_pipeline",
         &rpt_json::json!({
             "experiment": "fig5_pipeline",

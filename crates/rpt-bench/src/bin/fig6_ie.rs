@@ -7,7 +7,7 @@
 
 use rpt_rng::SmallRng;
 use rpt_rng::SeedableRng;
-use rpt_bench::{f2, write_artifact, Workbench};
+use rpt_bench::{f2, emit_artifact, Workbench};
 use rpt_core::ie::{infer_attribute, IeConfig, RptI};
 use rpt_core::train::TrainOpts;
 use rpt_datagen::benchmarks::{ie_tasks, IE_ATTRS};
@@ -92,7 +92,7 @@ fn main() {
         }
     }
 
-    write_artifact(
+    emit_artifact(
         "fig6_ie",
         &rpt_json::json!({
             "experiment": "fig6_ie",

@@ -13,7 +13,7 @@
 
 use rpt_rng::SmallRng;
 use rpt_rng::SeedableRng;
-use rpt_bench::{f2, write_artifact, Workbench};
+use rpt_bench::{f2, emit_artifact, Workbench};
 use rpt_core::er::{federated_rounds, Blocker, FederatedConfig, Matcher, MatcherConfig};
 use rpt_core::train::TrainOpts;
 use rpt_datagen::{ErBenchmark, PairSet};
@@ -114,7 +114,7 @@ fn main() {
         rows.push(rpt_json::json!({"regime": format!("single:{}", client_bench.name), "f1": f1}));
     }
 
-    write_artifact(
+    emit_artifact(
         "o1_federated",
         &rpt_json::json!({
             "experiment": "o1_federated",

@@ -9,7 +9,7 @@
 
 use rpt_rng::SmallRng;
 use rpt_rng::SeedableRng;
-use rpt_bench::{f2, write_artifact, Workbench};
+use rpt_bench::{f2, emit_artifact, Workbench};
 use rpt_core::cleaning::{evaluate_fill, CleaningConfig, MaskPolicy, RptC};
 use rpt_core::detect::{detect_errors, score_detection, DetectorConfig};
 use rpt_core::train::TrainOpts;
@@ -117,7 +117,7 @@ fn main() {
         f2(eval.recall())
     );
 
-    write_artifact(
+    emit_artifact(
         "o2_dirty",
         &rpt_json::json!({
             "experiment": "o2_dirty",

@@ -10,7 +10,7 @@
 //! gesture at.
 
 use rpt_baselines::BartText;
-use rpt_bench::{f2, write_artifact, Workbench};
+use rpt_bench::{f2, emit_artifact, Workbench};
 use rpt_core::cleaning::{evaluate_fill, CleaningConfig, Filler, MaskPolicy, RptC};
 use rpt_core::train::TrainOpts;
 
@@ -125,7 +125,7 @@ fn main() {
         }
     }
 
-    write_artifact(
+    emit_artifact(
         "table1",
         &rpt_json::json!({
             "experiment": "table1",

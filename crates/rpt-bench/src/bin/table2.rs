@@ -16,7 +16,7 @@
 use rpt_rng::SmallRng;
 use rpt_rng::SeedableRng;
 use rpt_baselines::{DeepMatcherLike, JaccardMatcher, PairScorer, ZeroEr};
-use rpt_bench::{evaluate_scorer, f2, write_artifact, Workbench};
+use rpt_bench::{evaluate_scorer, f2, emit_artifact, Workbench};
 use rpt_core::er::{calibrate_threshold_f1, Blocker, Matcher, MatcherConfig};
 use rpt_core::train::TrainOpts;
 use rpt_datagen::{ErBenchmark, PairSet};
@@ -196,7 +196,7 @@ fn main() {
     }
     println!("\npaper reported:        RPT-E 0.72 / 0.53, ZeroER 0.52 / 0.48, DeepMatcher 0.63 / 0.69");
 
-    write_artifact(
+    emit_artifact(
         "table2",
         &rpt_json::json!({
             "experiment": "table2",

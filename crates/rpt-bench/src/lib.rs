@@ -110,7 +110,7 @@ pub fn evaluate_scorer(
 /// directories — but the manifest path is baked in at compile time, so a
 /// binary run from a moved checkout or another machine needs the runtime
 /// override.
-pub fn write_artifact(name: &str, value: &rpt_json::Json) {
+pub fn emit_artifact(name: &str, value: &rpt_json::Json) {
     let dir = match std::env::var_os("RPT_BENCH_DIR") {
         Some(d) if !d.is_empty() => std::path::PathBuf::from(d),
         _ => Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -121,12 +121,12 @@ pub fn write_artifact(name: &str, value: &rpt_json::Json) {
     };
     let dir = dir.as_path();
     if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create {dir:?}: {e}");
+        rpt_obs::warn!(target: "rpt_bench", "cannot create {dir:?}: {e}");
         return;
     }
     let path = dir.join(format!("{name}.json"));
     if let Err(e) = std::fs::write(&path, value.to_string_pretty()) {
-        eprintln!("warning: cannot write {path:?}: {e}");
+        rpt_obs::warn!(target: "rpt_bench", "cannot write {path:?}: {e}");
     } else {
         println!("\n[artifact] {}", path.display());
     }

@@ -354,11 +354,96 @@ USAGE:
   rpt match   <a.csv> <b.csv> [--threshold T]
   rpt help
 
+Observability (any command):
+  --log-level LEVEL     off|error|warn|info|debug|trace (default warn;
+                        RPT_LOG=target=level overrides per target)
+  --quiet               alias for --log-level error
+  --progress            step ticker during training (info on rpt::progress)
+  --metrics-out PATH    enable metrics; write a JSON snapshot to PATH
+                        periodically and at exit
+
 Durable training: --checkpoint-dir DIR writes a rolling, atomically
 replaced DIR/train_state.json (params + Adam moments + RNG streams +
 loss curve) every ~10% of the run; --resume STATE continues a killed
 run bit-identically to one that was never interrupted.
 ";
+
+/// Observability flags, valid on every command. Extracted from argv by
+/// [`split_obs_flags`] before command parsing so they work uniformly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsOptions {
+    /// `--log-level LEVEL`.
+    pub log_level: Option<String>,
+    /// `--quiet` (alias for `--log-level error`; the explicit flag wins).
+    pub quiet: bool,
+    /// `--metrics-out PATH` — enables metrics and snapshots them here.
+    pub metrics_out: Option<String>,
+    /// `--progress` — step ticker (info records on target `rpt::progress`).
+    pub progress: bool,
+}
+
+/// Splits the observability flags out of `args`, returning the remaining
+/// command arguments and the parsed [`ObsOptions`].
+pub fn split_obs_flags(args: &[String]) -> Result<(Vec<String>, ObsOptions), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut obs = ObsOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quiet" => obs.quiet = true,
+            "--progress" => obs.progress = true,
+            flag @ ("--log-level" | "--metrics-out") => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?
+                    .clone();
+                if flag == "--log-level" {
+                    obs.log_level = Some(value);
+                } else {
+                    obs.metrics_out = Some(value);
+                }
+                i += 1;
+            }
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok((rest, obs))
+}
+
+/// Applies the observability flags: sets the log filter (layered over any
+/// `RPT_LOG` directives), turns metrics on when a snapshot path is given,
+/// and configures the periodic snapshot writer.
+pub fn init_observability(obs: &ObsOptions) -> Result<(), CliError> {
+    let mut filter = std::env::var("RPT_LOG")
+        .map(|s| rpt_obs::Filter::parse(&s))
+        .unwrap_or_default();
+    if let Some(level) = &obs.log_level {
+        filter.default = rpt_obs::parse_level_filter(level)
+            .ok_or_else(|| CliError::Usage(format!("bad --log-level {level}")))?;
+    } else if obs.quiet {
+        filter.default = rpt_obs::LEVEL_ERROR;
+    }
+    if obs.progress {
+        filter
+            .directives
+            .push(("rpt::progress".to_string(), rpt_obs::LEVEL_INFO));
+    }
+    rpt_obs::set_filter(filter);
+    if let Some(path) = &obs.metrics_out {
+        rpt_obs::set_metrics_enabled(true);
+        rpt_obs::set_snapshot_output(path.clone(), std::time::Duration::from_secs(2));
+    }
+    Ok(())
+}
+
+/// Writes the final metrics snapshot (when `--metrics-out` is active).
+/// Called on every exit path so a failed run still leaves its metrics.
+pub fn finish_observability() {
+    if let Some(Err(e)) = rpt_obs::flush_snapshot() {
+        rpt_obs::error!(target: "rpt_cli", "cannot write metrics snapshot: {e}");
+    }
+}
 
 /// Parses argv (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
@@ -499,6 +584,55 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn split_obs_flags_extracts_and_preserves_order() {
+        let (rest, obs) = split_obs_flags(&s(&[
+            "clean",
+            "d.csv",
+            "--quiet",
+            "--steps",
+            "50",
+            "--metrics-out",
+            "m.json",
+            "--progress",
+            "--log-level",
+            "debug",
+        ]))
+        .unwrap();
+        assert_eq!(rest, s(&["clean", "d.csv", "--steps", "50"]));
+        assert_eq!(
+            obs,
+            ObsOptions {
+                log_level: Some("debug".into()),
+                quiet: true,
+                metrics_out: Some("m.json".into()),
+                progress: true,
+            }
+        );
+    }
+
+    #[test]
+    fn split_obs_flags_requires_values() {
+        assert!(matches!(
+            split_obs_flags(&s(&["clean", "d.csv", "--log-level"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            split_obs_flags(&s(&["clean", "d.csv", "--metrics-out"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn init_observability_rejects_bad_level() {
+        let err = init_observability(&ObsOptions {
+            log_level: Some("verbose".into()),
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
     }
 
     #[test]

@@ -1,19 +1,34 @@
 //! `rpt` — the plug-and-play binary. All logic lives in the library; this
 //! is argv handling and exit codes only.
 
-use rpt_cli::{parse_args, run, CliError, USAGE};
+use rpt_cli::{
+    finish_observability, init_observability, parse_args, run, split_obs_flags, CliError, USAGE,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse_args(&args).and_then(run) {
-        Ok(report) => print!("{report}"),
+    let code = match real_main(&args) {
+        Ok(report) => {
+            print!("{report}");
+            0
+        }
         Err(CliError::Usage(msg)) => {
+            // Usage errors always reach the terminal: the user asked for
+            // something malformed before any log level could apply.
             eprintln!("error: {msg}\n\n{USAGE}");
-            std::process::exit(2);
+            2
         }
         Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+            rpt_obs::error!(target: "rpt_cli", "{e}");
+            1
         }
-    }
+    };
+    finish_observability();
+    std::process::exit(code);
+}
+
+fn real_main(args: &[String]) -> Result<String, CliError> {
+    let (rest, obs) = split_obs_flags(args)?;
+    init_observability(&obs)?;
+    parse_args(&rest).and_then(run)
 }

@@ -26,7 +26,7 @@ use rpt_tokenizer::{EncodedTuple, EncoderOptions, TupleEncoder, Vocab, BOS, EOS,
 use rpt_tensor::serialize::CheckpointError;
 use rpt_tensor::ParamStore;
 
-use crate::train::{TrainOpts, Trainer, TRAIN_STATE_FILE};
+use crate::train::{TrainOpts, Trainer, TRAIN_OBS, TRAIN_STATE_FILE};
 
 /// Durable-training options for [`RptC::pretrain_on`]: where to put the
 /// rolling [`TRAIN_STATE_FILE`] and how often to write it.
@@ -328,6 +328,8 @@ impl RptC {
                 }
             }
         }
+        let total_steps = self.cfg.train.steps;
+        let progress_every = (total_steps / 20).max(1);
         while !trainer.finished() {
             let mut srcs = Vec::with_capacity(self.cfg.train.batch_size);
             let mut tgts = Vec::with_capacity(self.cfg.train.batch_size);
@@ -348,7 +350,32 @@ impl RptC {
             if srcs.is_empty() {
                 break;
             }
-            self.denoising_step_on(pool, &srcs, &tgts, &mut trainer);
+            // Throughput is observed from outside the step — values flow
+            // only into the metrics registry, never back into training
+            // state, so the trajectory is identical with metrics on or off.
+            let step_started = rpt_obs::metrics_enabled().then(std::time::Instant::now);
+            let step_tokens = step_started.map(|_| {
+                (srcs.iter().map(|s| s.ids.len()).sum::<usize>()
+                    + tgts.iter().map(|t| t.len()).sum::<usize>()) as u64
+            });
+            let loss = self.denoising_step_on(pool, &srcs, &tgts, &mut trainer);
+            if let (Some(t0), Some(toks)) = (step_started, step_tokens) {
+                TRAIN_OBS.tokens.add(toks);
+                let secs = t0.elapsed().as_secs_f64();
+                if secs > 0.0 {
+                    TRAIN_OBS.tokens_per_sec.set(toks as f64 / secs);
+                }
+            }
+            if trainer.steps_done() % progress_every == 0 || trainer.finished() {
+                rpt_obs::info!(
+                    target: "rpt::progress",
+                    "step {}/{} loss {:.4}",
+                    trainer.steps_done(),
+                    total_steps,
+                    loss
+                );
+            }
+            rpt_obs::tick_snapshot();
             if trainer.checkpoint_due() {
                 if let Some(ckpt) = checkpoint {
                     let streams = vec![

@@ -3,11 +3,33 @@
 //! resumable (bit-identically) via [`rpt_tensor::serialize::TrainState`].
 
 use std::path::Path;
+use std::sync::LazyLock;
 
 use rpt_par::ThreadPool;
 use rpt_nn::schedule::linear_warmup;
 use rpt_tensor::serialize::{self, CheckpointError, TrainState};
 use rpt_tensor::{clip_global_norm, Adam, AdamConfig, ParamId, ParamStore, Tape, Tensor, Var};
+
+/// Training metrics (DESIGN.md §Observability). Values only flow *out* of
+/// the trainer into the registry — never back — so enabling metrics cannot
+/// perturb the training trajectory.
+pub(crate) struct TrainObs {
+    pub steps: rpt_obs::Counter,
+    pub tokens: rpt_obs::Counter,
+    pub loss: rpt_obs::Gauge,
+    pub grad_norm: rpt_obs::Gauge,
+    pub tokens_per_sec: rpt_obs::Gauge,
+    pub step_ms: rpt_obs::Histogram,
+}
+
+pub(crate) static TRAIN_OBS: LazyLock<TrainObs> = LazyLock::new(|| TrainObs {
+    steps: rpt_obs::counter("train.steps"),
+    tokens: rpt_obs::counter("train.tokens"),
+    loss: rpt_obs::gauge("train.loss"),
+    grad_norm: rpt_obs::gauge("train.grad_norm"),
+    tokens_per_sec: rpt_obs::gauge("train.tokens_per_sec"),
+    step_ms: rpt_obs::histogram("train.step_ms"),
+});
 
 /// File name of the rolling train-state checkpoint inside a checkpoint
 /// directory. A single rolling file plus atomic replacement means the
@@ -106,6 +128,7 @@ impl Trainer {
     /// The caller builds the forward pass on `tape` with parameters bound
     /// from `params` (via [`rpt_nn::Ctx`]).
     pub fn step(&mut self, tape: &Tape, params: &mut ParamStore, loss: Var) -> f32 {
+        let _t = rpt_obs::span("train.step", &TRAIN_OBS.step_ms);
         let loss_value = tape.value(loss).data()[0];
         let mut grads = tape.backward(loss);
         let pg = params.collect_grads(&mut grads);
@@ -120,11 +143,14 @@ impl Trainer {
         mut pg: Vec<(ParamId, Tensor)>,
         loss_value: f32,
     ) -> f32 {
-        clip_global_norm(&mut pg, self.opts.clip);
+        let grad_norm = clip_global_norm(&mut pg, self.opts.clip);
         let lr = linear_warmup(self.opts.peak_lr, self.opts.warmup as u64, self.adam.steps() + 1);
         self.adam.set_lr(lr);
         self.adam.step(params, &pg);
         self.losses.push(loss_value);
+        TRAIN_OBS.steps.inc();
+        TRAIN_OBS.loss.set(loss_value as f64);
+        TRAIN_OBS.grad_norm.set(grad_norm as f64);
         loss_value
     }
 
@@ -147,6 +173,7 @@ impl Trainer {
         forward: impl Fn(&Tape, &mut ParamStore, &S) -> Var + Sync,
     ) -> f32 {
         assert!(!shards.is_empty(), "step_data_parallel: no shards");
+        let _t = rpt_obs::span("train.step", &TRAIN_OBS.step_ms);
         let shared: &ParamStore = params;
         let results: Vec<(f32, Vec<(ParamId, Tensor)>)> = pool.map(shards.len(), |i| {
             let mut local = shared.clone();

@@ -66,6 +66,9 @@ pub fn greedy_decode(
     max_steps: usize,
 ) -> Vec<usize> {
     assert_eq!(src.b, 1, "greedy_decode expects a single source");
+    let obs = &*crate::obs::DECODE_OBS;
+    let _t = rpt_obs::span("decode.greedy", &obs.call_ms);
+    let started = rpt_obs::metrics_enabled().then(std::time::Instant::now);
     let mut state = model.begin_decode(params, src);
     let mut prefix = vec![bos];
     for _ in 0..max_steps {
@@ -80,7 +83,24 @@ pub fn greedy_decode(
             break;
         }
     }
+    record_decode_rate(obs, started, prefix.len() - 1);
     prefix[1..].to_vec()
+}
+
+/// Records generated-token count and the resulting tokens/sec gauge for
+/// one decode call. `started` is `Some` only when metrics were enabled at
+/// call entry, so the disabled path never reads a clock.
+fn record_decode_rate(
+    obs: &crate::obs::DecodeObs,
+    started: Option<std::time::Instant>,
+    tokens: usize,
+) {
+    let Some(t0) = started else { return };
+    obs.tokens.add(tokens as u64);
+    let secs = t0.elapsed().as_secs_f64();
+    if secs > 0.0 && tokens > 0 {
+        obs.tokens_per_sec.set(tokens as f64 / secs);
+    }
 }
 
 /// Beam search over a single source on the KV-cached fast path: every live
@@ -101,6 +121,9 @@ pub fn beam_search(
 ) -> Vec<Hypothesis> {
     assert_eq!(src.b, 1, "beam_search expects a single source");
     assert!(cfg.width > 0, "beam width must be positive");
+    let obs = &*crate::obs::DECODE_OBS;
+    let _t = rpt_obs::span("decode.beam", &obs.call_ms);
+    let started = rpt_obs::metrics_enabled().then(std::time::Instant::now);
     let v = model.config().vocab_size;
     let mut state = model.begin_decode(params, src);
     // (prefix including BOS, cumulative log-prob). Invariant: the KV cache
@@ -170,6 +193,7 @@ pub fn beam_search(
     }
     done.sort_by(|a, b| b.score.total_cmp(&a.score));
     done.truncate(cfg.width);
+    record_decode_rate(obs, started, done.first().map_or(0, |h| h.tokens.len()));
     done
 }
 

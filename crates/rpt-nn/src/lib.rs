@@ -27,6 +27,7 @@ pub mod classifier;
 pub mod decode;
 pub mod metrics;
 pub mod module;
+pub(crate) mod obs;
 pub mod schedule;
 pub mod seq2seq;
 pub mod transformer;

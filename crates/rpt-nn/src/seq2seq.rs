@@ -244,6 +244,7 @@ impl Seq2Seq {
     /// grows via [`IncrementalState::select_beams`].
     pub fn begin_decode(&self, params: &mut ParamStore, src: &TokenBatch) -> IncrementalState {
         assert_eq!(src.b, 1, "begin_decode expects a single source, got b={}", src.b);
+        crate::obs::DECODE_OBS.calls.inc();
         let tape = Tape::inference();
         let mut rng = SmallRng::seed_from_u64(0);
         let mut ctx = Ctx::new(&tape, params, &mut rng, false);
@@ -283,6 +284,9 @@ impl Seq2Seq {
             state.width,
             "decode_step expects one token per hypothesis"
         );
+        let obs = &*crate::obs::DECODE_OBS;
+        let _t = rpt_obs::span("decode.step", &obs.step_ms);
+        obs.steps.inc();
         let b = tokens.len();
         let tape = Tape::inference();
         let mut rng = SmallRng::seed_from_u64(0);
@@ -344,6 +348,7 @@ impl IncrementalState {
     /// `parents[i]` names the current hypothesis that new hypothesis `i`
     /// extends. The new width is `parents.len()`.
     pub fn select_beams(&mut self, parents: &[usize]) {
+        crate::obs::DECODE_OBS.beam_reorders.inc();
         let h = self.n_heads;
         let rows: Vec<usize> = parents
             .iter()

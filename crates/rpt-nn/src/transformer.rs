@@ -119,6 +119,7 @@ impl LayerKv {
     }
 
     fn append_self(&mut self, k_new: Tensor, v_new: Tensor) {
+        crate::obs::DECODE_OBS.cache_appends.inc();
         self.self_k = Some(match self.self_k.take() {
             Some(k) => k.concat_dim1(&k_new),
             None => k_new,

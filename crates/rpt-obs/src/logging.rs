@@ -1,0 +1,278 @@
+//! The logging half of rpt-obs: levels, `RPT_LOG` filter parsing, and the
+//! stderr + JSON-lines sinks. See the crate docs for the model.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{LazyLock, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use rpt_json::json;
+
+/// Numeric level filters: `LEVEL_OFF` silences everything, `LEVEL_TRACE`
+/// passes everything. Ordered so `record_level <= filter_level` ⇒ emit.
+pub const LEVEL_OFF: u8 = 0;
+/// See [`LEVEL_OFF`].
+pub const LEVEL_ERROR: u8 = 1;
+/// See [`LEVEL_OFF`].
+pub const LEVEL_WARN: u8 = 2;
+/// See [`LEVEL_OFF`].
+pub const LEVEL_INFO: u8 = 3;
+/// See [`LEVEL_OFF`].
+pub const LEVEL_DEBUG: u8 = 4;
+/// See [`LEVEL_OFF`].
+pub const LEVEL_TRACE: u8 = 5;
+
+/// Severity of a log record (`Error` most severe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// The operation failed.
+    Error = LEVEL_ERROR,
+    /// Something suspicious, the operation continues.
+    Warn = LEVEL_WARN,
+    /// High-level progress.
+    Info = LEVEL_INFO,
+    /// Detail useful when debugging.
+    Debug = LEVEL_DEBUG,
+    /// Very fine-grained detail.
+    Trace = LEVEL_TRACE,
+}
+
+impl Level {
+    /// Lower-case name (`"error"` … `"trace"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Parses a level-filter word (`off|error|warn|info|debug|trace`, or a
+/// digit `0..=5`), case-insensitively. `None` for anything else.
+pub fn parse_level_filter(s: &str) -> Option<u8> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "off" | "0" => Some(LEVEL_OFF),
+        "error" | "1" => Some(LEVEL_ERROR),
+        "warn" | "warning" | "2" => Some(LEVEL_WARN),
+        "info" | "3" => Some(LEVEL_INFO),
+        "debug" | "4" => Some(LEVEL_DEBUG),
+        "trace" | "5" => Some(LEVEL_TRACE),
+        _ => None,
+    }
+}
+
+/// A parsed `RPT_LOG` filter: a default level plus per-target overrides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Filter {
+    /// Level for targets without a matching directive.
+    pub default: u8,
+    /// `(target_prefix, level)` overrides; the longest matching prefix
+    /// wins. A prefix matches the target exactly or at a `::` boundary.
+    pub directives: Vec<(String, u8)>,
+}
+
+impl Default for Filter {
+    fn default() -> Self {
+        Filter {
+            default: LEVEL_WARN,
+            directives: Vec::new(),
+        }
+    }
+}
+
+impl Filter {
+    /// Parses an `env_logger`-style spec: comma-separated words, each a
+    /// bare level (sets the default), `target=level`, or a bare target
+    /// (that target at trace). Malformed entries are ignored.
+    pub fn parse(spec: &str) -> Filter {
+        let mut filter = Filter::default();
+        for word in spec.split(',') {
+            let word = word.trim();
+            if word.is_empty() {
+                continue;
+            }
+            match word.split_once('=') {
+                Some((target, level)) => {
+                    if let Some(l) = parse_level_filter(level) {
+                        filter.directives.push((target.trim().to_string(), l));
+                    }
+                }
+                None => match parse_level_filter(word) {
+                    Some(l) => filter.default = l,
+                    None => filter.directives.push((word.to_string(), LEVEL_TRACE)),
+                },
+            }
+        }
+        filter
+    }
+
+    /// The level filter in effect for `target`.
+    pub fn level_for(&self, target: &str) -> u8 {
+        let mut best: Option<(usize, u8)> = None;
+        for (prefix, level) in &self.directives {
+            let matches = target == prefix
+                || (target.len() > prefix.len()
+                    && target.starts_with(prefix.as_str())
+                    && target[prefix.len()..].starts_with("::"));
+            if matches && best.map(|(len, _)| prefix.len() > len).unwrap_or(true) {
+                best = Some((prefix.len(), *level));
+            }
+        }
+        best.map(|(_, l)| l).unwrap_or(self.default)
+    }
+
+    /// The most verbose level any target can pass — the fast-path gate.
+    pub fn max_level(&self) -> u8 {
+        self.directives
+            .iter()
+            .map(|(_, l)| *l)
+            .chain([self.default])
+            .max()
+            .unwrap_or(LEVEL_OFF)
+    }
+}
+
+struct LogState {
+    filter: Filter,
+    json_sink: Option<File>,
+}
+
+/// Fast gate consulted before the mutex: the max level any target passes.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(LEVEL_WARN);
+
+/// Shared logger state. Initialized lazily from the environment so that
+/// `RPT_LOG` / `RPT_LOG_JSON` work in every binary without an init call.
+static STATE: LazyLock<Mutex<LogState>> = LazyLock::new(|| {
+    let filter = std::env::var("RPT_LOG")
+        .map(|s| Filter::parse(&s))
+        .unwrap_or_default();
+    MAX_LEVEL.store(filter.max_level(), Ordering::Relaxed);
+    let json_sink = std::env::var_os("RPT_LOG_JSON")
+        .filter(|p| !p.is_empty())
+        .and_then(|p| open_sink(Path::new(&p)).ok());
+    Mutex::new(LogState { filter, json_sink })
+});
+
+fn open_sink(path: &Path) -> std::io::Result<File> {
+    OpenOptions::new().create(true).append(true).open(path)
+}
+
+/// Replaces the active filter (overrides any `RPT_LOG` default).
+pub fn set_filter(filter: Filter) {
+    let mut state = STATE.lock().unwrap();
+    MAX_LEVEL.store(filter.max_level(), Ordering::Relaxed);
+    state.filter = filter;
+}
+
+/// Opens (appending) a JSON-lines sink; every subsequent record is also
+/// written there as one JSON object per line.
+pub fn set_json_sink(path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = open_sink(path.as_ref())?;
+    STATE.lock().unwrap().json_sink = Some(file);
+    Ok(())
+}
+
+/// True when a record at `level` for `target` would be emitted. The common
+/// (filtered-out) case is one relaxed atomic load.
+pub fn log_enabled(target: &str, level: Level) -> bool {
+    let _ = &*STATE; // ensure the env filter has populated MAX_LEVEL
+    if level as u8 > MAX_LEVEL.load(Ordering::Relaxed) {
+        return false;
+    }
+    level as u8 <= STATE.lock().unwrap().filter.level_for(target)
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Emits a record (the macros call this after [`log_enabled`] passes).
+pub fn log_record(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    let msg = args.to_string();
+    let mut state = STATE.lock().unwrap();
+    eprintln!("[{:<5} {}] {}", level.as_str(), target, msg);
+    if let Some(sink) = &mut state.json_sink {
+        let record = json!({
+            "ts_unix_ms": unix_ms(),
+            "level": level.as_str(),
+            "target": target,
+            "msg": msg.as_str(),
+        });
+        let _ = writeln!(sink, "{record}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_parses_bare_levels_targets_and_directives() {
+        let f = Filter::parse("info");
+        assert_eq!(f.default, LEVEL_INFO);
+        assert!(f.directives.is_empty());
+
+        let f = Filter::parse("warn,rpt_par=debug, rpt_tensor = trace ,rpt::progress");
+        assert_eq!(f.default, LEVEL_WARN);
+        assert_eq!(
+            f.directives,
+            vec![
+                ("rpt_par".to_string(), LEVEL_DEBUG),
+                ("rpt_tensor".to_string(), LEVEL_TRACE),
+                ("rpt::progress".to_string(), LEVEL_TRACE),
+            ]
+        );
+        assert_eq!(f.max_level(), LEVEL_TRACE);
+    }
+
+    #[test]
+    fn filter_ignores_malformed_entries() {
+        let f = Filter::parse("bogus=notalevel,,=,off");
+        assert_eq!(f.default, LEVEL_OFF);
+        assert!(
+            f.directives.iter().all(|(t, _)| t != "bogus"),
+            "{:?}",
+            f.directives
+        );
+    }
+
+    #[test]
+    fn level_for_matches_module_path_prefixes() {
+        let f = Filter::parse("error,rpt_core=info,rpt_core::train=trace");
+        assert_eq!(f.level_for("rpt_nn::decode"), LEVEL_ERROR);
+        assert_eq!(f.level_for("rpt_core"), LEVEL_INFO);
+        assert_eq!(f.level_for("rpt_core::cleaning"), LEVEL_INFO);
+        // longest prefix wins
+        assert_eq!(f.level_for("rpt_core::train"), LEVEL_TRACE);
+        assert_eq!(f.level_for("rpt_core::train::inner"), LEVEL_TRACE);
+        // prefix must end at a :: boundary
+        assert_eq!(f.level_for("rpt_core_other"), LEVEL_ERROR);
+    }
+
+    #[test]
+    fn parse_level_filter_accepts_names_and_digits() {
+        assert_eq!(parse_level_filter("OFF"), Some(LEVEL_OFF));
+        assert_eq!(parse_level_filter("Error"), Some(LEVEL_ERROR));
+        assert_eq!(parse_level_filter("warning"), Some(LEVEL_WARN));
+        assert_eq!(parse_level_filter("3"), Some(LEVEL_INFO));
+        assert_eq!(parse_level_filter("trace"), Some(LEVEL_TRACE));
+        assert_eq!(parse_level_filter("verbose"), None);
+    }
+
+    #[test]
+    fn default_filter_is_warn() {
+        let f = Filter::default();
+        assert_eq!(f.level_for("anything"), LEVEL_WARN);
+        assert_eq!(f.max_level(), LEVEL_WARN);
+    }
+}

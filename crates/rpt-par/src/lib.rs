@@ -45,8 +45,29 @@ use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, LazyLock, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+/// Pool metrics (see DESIGN.md §Observability for the name registry).
+/// Handles are resolved once per process; recording is inert unless
+/// `rpt_obs::set_metrics_enabled(true)` was called.
+struct Obs {
+    sections: rpt_obs::Counter,
+    serial_sections: rpt_obs::Counter,
+    tasks: rpt_obs::Counter,
+    section_ms: rpt_obs::Histogram,
+    tasks_per_worker: rpt_obs::Histogram,
+    threads: rpt_obs::Gauge,
+}
+
+static OBS: LazyLock<Obs> = LazyLock::new(|| Obs {
+    sections: rpt_obs::counter("par.sections"),
+    serial_sections: rpt_obs::counter("par.serial_sections"),
+    tasks: rpt_obs::counter("par.tasks"),
+    section_ms: rpt_obs::histogram("par.section_ms"),
+    tasks_per_worker: rpt_obs::histogram_with("par.tasks_per_worker", rpt_obs::COUNT_BOUNDS),
+    threads: rpt_obs::gauge("par.threads"),
+});
 
 thread_local! {
     /// True while this thread is executing tasks inside a parallel section
@@ -159,10 +180,15 @@ impl ThreadPool {
         if tasks == 0 {
             return;
         }
+        let _section = rpt_obs::span("par.section", &OBS.section_ms);
+        OBS.sections.inc();
+        OBS.tasks.add(tasks as u64);
+        OBS.threads.set(self.num_threads() as f64);
         // Re-entrant sections run serially on the current thread (see the
         // "Nesting" crate docs): a worker dispatching to its own suspended
         // recv loop and then waiting on the latch would deadlock.
         let workers = if IN_PARALLEL_SECTION.with(|c| c.get()) {
+            OBS.serial_sections.inc();
             0
         } else {
             self.senders.len().min(tasks.saturating_sub(1))
@@ -171,6 +197,7 @@ impl ThreadPool {
             for i in 0..tasks {
                 f(i);
             }
+            OBS.tasks_per_worker.record(tasks as f64);
             return;
         }
 
@@ -189,17 +216,25 @@ impl ThreadPool {
             let job_latch = Arc::clone(&latch);
             let panic_slot = Arc::clone(&worker_panic);
             let job: Job = Box::new(move || {
-                let result = in_section(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= tasks {
-                        break;
+                let result = in_section(|| {
+                    let mut claimed = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks {
+                            break;
+                        }
+                        claimed += 1;
+                        f_static(i);
                     }
-                    f_static(i);
+                    claimed
                 });
-                if let Err(payload) = result {
-                    let mut slot = panic_slot.lock().unwrap();
-                    if slot.is_none() {
-                        *slot = Some(payload);
+                match result {
+                    Ok(claimed) => OBS.tasks_per_worker.record(claimed as f64),
+                    Err(payload) => {
+                        let mut slot = panic_slot.lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
                     }
                 }
                 job_latch.count_down();
@@ -215,16 +250,22 @@ impl ThreadPool {
             }
         }
         // The caller participates instead of blocking idle.
-        let own = in_section(|| loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= tasks {
-                break;
+        let own = in_section(|| {
+            let mut claimed = 0u64;
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                claimed += 1;
+                f(i);
             }
-            f(i);
+            claimed
         });
         latch.wait();
-        if let Err(payload) = own {
-            resume_unwind(payload);
+        match own {
+            Ok(claimed) => OBS.tasks_per_worker.record(claimed as f64),
+            Err(payload) => resume_unwind(payload),
         }
         if let Some(payload) = worker_panic.lock().unwrap().take() {
             resume_unwind(payload);

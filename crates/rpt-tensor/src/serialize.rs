@@ -24,11 +24,45 @@
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::LazyLock;
 
 use rpt_json::{json, Json, JsonError};
 
 use crate::optim::{AdamState, ParamStore};
 use crate::tensor::Tensor;
+
+/// Checkpoint-IO metrics (DESIGN.md §Observability): every stage of the
+/// atomic-write protocol is timed separately so a slow fsync is
+/// distinguishable from a slow serialize, and injected faults are counted.
+struct CkptObs {
+    saves: rpt_obs::Counter,
+    loads: rpt_obs::Counter,
+    save_errors: rpt_obs::Counter,
+    faults_injected: rpt_obs::Counter,
+    bytes_written: rpt_obs::Counter,
+    bytes_read: rpt_obs::Counter,
+    size_bytes: rpt_obs::Gauge,
+    save_ms: rpt_obs::Histogram,
+    load_ms: rpt_obs::Histogram,
+    write_ms: rpt_obs::Histogram,
+    fsync_ms: rpt_obs::Histogram,
+    rename_ms: rpt_obs::Histogram,
+}
+
+static OBS: LazyLock<CkptObs> = LazyLock::new(|| CkptObs {
+    saves: rpt_obs::counter("ckpt.saves"),
+    loads: rpt_obs::counter("ckpt.loads"),
+    save_errors: rpt_obs::counter("ckpt.save_errors"),
+    faults_injected: rpt_obs::counter("ckpt.faults_injected"),
+    bytes_written: rpt_obs::counter("ckpt.bytes_written"),
+    bytes_read: rpt_obs::counter("ckpt.bytes_read"),
+    size_bytes: rpt_obs::gauge("ckpt.size_bytes"),
+    save_ms: rpt_obs::histogram("ckpt.save_ms"),
+    load_ms: rpt_obs::histogram("ckpt.load_ms"),
+    write_ms: rpt_obs::histogram("ckpt.write_ms"),
+    fsync_ms: rpt_obs::histogram("ckpt.fsync_ms"),
+    rename_ms: rpt_obs::histogram("ckpt.rename_ms"),
+});
 
 /// The checkpoint format revision this build writes.
 const FORMAT_VERSION: u32 = 1;
@@ -118,6 +152,8 @@ impl FaultyIo {
     }
 
     fn injected(&mut self) -> io::Error {
+        OBS.faults_injected.inc();
+        rpt_obs::warn!(target: "rpt_tensor::ckpt", "checkpoint fault injected: {:?}", self.fault);
         self.fault = None;
         io::Error::new(io::ErrorKind::Other, "injected checkpoint fault")
     }
@@ -173,18 +209,36 @@ pub fn atomic_write_with(
 ) -> io::Result<()> {
     let tmp = staging_path(path);
     let result = (|| {
-        io.write_file(&tmp, bytes)?;
-        io.sync_file(&tmp)?;
-        io.rename(&tmp, path)?;
+        {
+            let _t = OBS.write_ms.time();
+            io.write_file(&tmp, bytes)?;
+        }
+        {
+            let _t = OBS.fsync_ms.time();
+            io.sync_file(&tmp)?;
+        }
+        {
+            let _t = OBS.rename_ms.time();
+            io.rename(&tmp, path)?;
+        }
         let dir = match path.parent() {
             Some(d) if !d.as_os_str().is_empty() => d,
             _ => Path::new("."),
         };
         io.sync_dir(dir)
     })();
-    if result.is_err() {
-        // best-effort cleanup; after a successful rename this is a no-op
-        let _ = fs::remove_file(&tmp);
+    match &result {
+        Ok(()) => {
+            OBS.saves.inc();
+            OBS.bytes_written.add(bytes.len() as u64);
+            OBS.size_bytes.set(bytes.len() as f64);
+        }
+        Err(e) => {
+            OBS.save_errors.inc();
+            rpt_obs::warn!(target: "rpt_tensor::ckpt", "checkpoint write to {} failed: {e}", path.display());
+            // best-effort cleanup; after a successful rename this is a no-op
+            let _ = fs::remove_file(&tmp);
+        }
     }
     result
 }
@@ -341,13 +395,17 @@ pub fn save_file_with(
     store: &ParamStore,
     path: impl AsRef<Path>,
 ) -> Result<(), CheckpointError> {
+    let _t = rpt_obs::span("ckpt.save", &OBS.save_ms);
     atomic_write_with(io, path.as_ref(), to_json(store).as_bytes())?;
     Ok(())
 }
 
 /// Loads a file into the store.
 pub fn load_file(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let _t = rpt_obs::span("ckpt.load", &OBS.load_ms);
     let json = fs::read_to_string(path)?;
+    OBS.loads.inc();
+    OBS.bytes_read.add(json.len() as u64);
     load_json(store, &json)
 }
 
@@ -573,6 +631,7 @@ pub fn save_train_file_with(
     state: &TrainState,
     path: impl AsRef<Path>,
 ) -> Result<(), CheckpointError> {
+    let _t = rpt_obs::span("ckpt.save", &OBS.save_ms);
     atomic_write_with(io, path.as_ref(), train_state_to_json(store, state).as_bytes())?;
     Ok(())
 }
@@ -582,7 +641,10 @@ pub fn load_train_file(
     store: &mut ParamStore,
     path: impl AsRef<Path>,
 ) -> Result<TrainState, CheckpointError> {
+    let _t = rpt_obs::span("ckpt.load", &OBS.load_ms);
     let json = fs::read_to_string(path)?;
+    OBS.loads.inc();
+    OBS.bytes_read.add(json.len() as u64);
     load_train_json(store, &json)
 }
 

@@ -6,6 +6,7 @@
 //! order (which is a topological order by construction) and accumulates.
 
 use std::cell::RefCell;
+use std::sync::LazyLock;
 
 use rpt_rng::Rng;
 
@@ -86,6 +87,20 @@ impl Tape {
     }
 
     fn push(&self, value: Tensor, parents: Vec<usize>, grad_fn: Option<GradFn>) -> Var {
+        // Tape volume metrics (DESIGN.md §Observability). One relaxed load
+        // when metrics are off; the handles resolve once per process.
+        struct TapeObs {
+            nodes: rpt_obs::Counter,
+            bytes: rpt_obs::Counter,
+        }
+        static OBS: LazyLock<TapeObs> = LazyLock::new(|| TapeObs {
+            nodes: rpt_obs::counter("tensor.tape_nodes"),
+            bytes: rpt_obs::counter("tensor.tape_bytes"),
+        });
+        if rpt_obs::metrics_enabled() {
+            OBS.nodes.inc();
+            OBS.bytes.add(4 * value.numel() as u64);
+        }
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node {
             value,
@@ -720,6 +735,16 @@ impl Tape {
     /// On a forward-only tape (see [`Tape::inference`]): no backward graph
     /// was recorded, so gradients cannot be computed.
     pub fn backward(&self, loss: Var) -> Gradients {
+        struct BackwardObs {
+            backwards: rpt_obs::Counter,
+            backward_ms: rpt_obs::Histogram,
+        }
+        static OBS: LazyLock<BackwardObs> = LazyLock::new(|| BackwardObs {
+            backwards: rpt_obs::counter("tensor.backwards"),
+            backward_ms: rpt_obs::histogram("tensor.backward_ms"),
+        });
+        let _t = rpt_obs::span("tensor.backward", &OBS.backward_ms);
+        OBS.backwards.inc();
         assert!(
             !self.forward_only,
             "backward called on a forward-only inference tape; build the \

@@ -3,7 +3,22 @@
 //! ops are built from.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, LazyLock};
+
+/// Kernel metrics (DESIGN.md §Observability); inert unless metrics are on.
+struct MatmulObs {
+    calls: rpt_obs::Counter,
+    madds: rpt_obs::Counter,
+    matmul2d_ms: rpt_obs::Histogram,
+    bmm_ms: rpt_obs::Histogram,
+}
+
+static MATMUL_OBS: LazyLock<MatmulObs> = LazyLock::new(|| MatmulObs {
+    calls: rpt_obs::counter("tensor.matmul_calls"),
+    madds: rpt_obs::counter("tensor.matmul_madds"),
+    matmul2d_ms: rpt_obs::histogram("tensor.matmul2d_ms"),
+    bmm_ms: rpt_obs::histogram("tensor.bmm_ms"),
+});
 
 /// Error raised by fallible tensor constructors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -229,6 +244,9 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul2d inner dims differ: {:?} x {:?}", self.shape, other.shape);
+        let _t = MATMUL_OBS.matmul2d_ms.time();
+        MATMUL_OBS.calls.inc();
+        MATMUL_OBS.madds.add((m * k * n) as u64);
         let mut out = vec![0.0f32; m * n];
         matmul_batched(pool, &self.data, &other.data, &mut out, 1, m, k, n);
         Tensor {
@@ -251,6 +269,9 @@ impl Tensor {
         let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
         assert_eq!(b, b2, "bmm batch dims differ: {:?} x {:?}", self.shape, other.shape);
         assert_eq!(k, k2, "bmm inner dims differ: {:?} x {:?}", self.shape, other.shape);
+        let _t = MATMUL_OBS.bmm_ms.time();
+        MATMUL_OBS.calls.inc();
+        MATMUL_OBS.madds.add((b * m * k * n) as u64);
         let mut out = vec![0.0f32; b * m * n];
         matmul_batched(pool, &self.data, &other.data, &mut out, b, m, k, n);
         Tensor {

@@ -12,6 +12,9 @@
 #    path still beats the reference and the artifact gets written.
 # 4. A crash-recovery smoke drive of the CLI: train with a checkpoint
 #    directory, then resume from the rolling train-state file.
+# 5. A metrics smoke drive: the same CLI run with --metrics-out must
+#    leave a parseable snapshot containing the core training, decode,
+#    thread-pool, and checkpoint-IO metric names.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,5 +63,30 @@ test -s "$smoke_dir/out2.csv" || {
     echo "verify: resumed clean run produced no output" >&2
     exit 1
 }
+
+# Metrics smoke drive: --metrics-out must emit a final snapshot that is
+# valid JSON and covers the training-step, decode, thread-pool, and
+# checkpoint-IO instrument families.
+./target/release/rpt clean "$smoke_dir/toy.csv" --steps 40 \
+    --checkpoint-dir "$smoke_dir/ckpt-metrics" \
+    --metrics-out "$smoke_dir/metrics.json" --progress \
+    --output "$smoke_dir/out3.csv" >/dev/null
+test -s "$smoke_dir/metrics.json" || {
+    echo "verify: metrics snapshot missing" >&2
+    exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$smoke_dir/metrics.json" >/dev/null || {
+        echo "verify: metrics snapshot is not valid JSON" >&2
+        exit 1
+    }
+fi
+for metric in train.step_ms train.tokens_per_sec decode.tokens \
+        par.sections ckpt.save_ms; do
+    grep -q "\"$metric\"" "$smoke_dir/metrics.json" || {
+        echo "verify: metrics snapshot missing $metric" >&2
+        exit 1
+    }
+done
 
 echo "verify: OK"

@@ -1,0 +1,119 @@
+//! Observability must be a spectator: running the exact same short
+//! pretrain with metrics, spans, periodic snapshots, and verbose logging
+//! all switched on must leave the model on the same trajectory — byte
+//! identical final checkpoint, bit-identical loss curve — as a run with
+//! every instrument dark. Metric values flow *out* of the trainer into
+//! the registry; nothing flows back.
+//!
+//! Both runs live in one test function because the enabled/disabled
+//! switches are process-global: the enabled run goes first, then the
+//! instruments are turned off and the dark run repeats from scratch.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use rpt::core::cleaning::{CheckpointOpts, CleaningConfig, RptC};
+use rpt::core::train::{TrainOpts, TRAIN_STATE_FILE};
+use rpt::core::vocabulary::build_vocab;
+use rpt::datagen::standard_benchmarks;
+use rpt::par::ThreadPool;
+use rpt::table::Table;
+use rpt_rng::{SeedableRng, SmallRng};
+
+const STEPS: usize = 6;
+
+fn config() -> CleaningConfig {
+    let mut cfg = CleaningConfig::tiny();
+    // dropout on: the RNG streams are the part of the trajectory most
+    // easily perturbed by a stray draw, so make them load-bearing
+    cfg.model.dropout = 0.1;
+    cfg.train = TrainOpts {
+        steps: STEPS,
+        batch_size: 4,
+        micro_batch: 2,
+        warmup: 3,
+        peak_lr: 3e-3,
+        ..Default::default()
+    };
+    cfg
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rpt-obs-determinism-{tag}"));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One complete pretrain; returns (final checkpoint bytes, loss bits).
+fn run_once(tag: &str) -> (Vec<u8>, Vec<u32>) {
+    let dir = fresh_dir(tag);
+    let mut rng = SmallRng::seed_from_u64(6);
+    let (_u, mut benches) = standard_benchmarks(16, &mut rng);
+    let b = benches.remove(0);
+    let tables = vec![b.table_a, b.table_b];
+    let vocab = build_vocab(&tables.iter().collect::<Vec<_>>(), &[], 1, 4000);
+
+    let pool = ThreadPool::new(2);
+    let table_refs: Vec<&Table> = tables.iter().collect();
+    let mut model = RptC::new(vocab, config());
+    let losses = model
+        .pretrain_on(
+            &pool,
+            &table_refs,
+            Some(&CheckpointOpts {
+                dir: dir.clone(),
+                every: 2,
+            }),
+            None,
+        )
+        .unwrap();
+    assert_eq!(losses.len(), STEPS);
+    let bytes = fs::read(dir.join(TRAIN_STATE_FILE)).unwrap();
+    fs::remove_dir_all(&dir).ok();
+    (bytes, losses.iter().map(|x| x.to_bits()).collect())
+}
+
+#[test]
+fn instrumented_run_is_byte_identical_to_dark_run() {
+    let scratch = fresh_dir("artifacts");
+    let snapshot_path = scratch.join("metrics.json");
+    let log_path = scratch.join("log.jsonl");
+
+    // Instrumented run: everything on. Trace-level logging through the
+    // JSON sink, metrics recording, and a snapshot rewritten on every
+    // training step (period zero means each tick_snapshot fires).
+    rpt_obs::set_filter(rpt_obs::Filter::parse("trace"));
+    rpt_obs::set_json_sink(&log_path).unwrap();
+    rpt_obs::set_metrics_enabled(true);
+    rpt_obs::set_snapshot_output(&snapshot_path, Duration::ZERO);
+    let (hot_bytes, hot_losses) = run_once("hot");
+    rpt_obs::flush_snapshot();
+
+    // The instruments must actually have observed the run, otherwise the
+    // comparison below is vacuous.
+    let snap = fs::read_to_string(&snapshot_path).unwrap();
+    let json = rpt_json::Json::parse(&snap).expect("snapshot must be valid JSON");
+    let text = json.to_string();
+    for name in ["train.steps", "train.step_ms", "par.sections", "ckpt.save_ms"] {
+        assert!(text.contains(name), "snapshot is missing {name}: {text}");
+    }
+    let log = fs::read_to_string(&log_path).unwrap();
+    assert!(!log.is_empty(), "trace logging produced no JSON lines");
+
+    // Dark run: every instrument off, quietest possible logging.
+    rpt_obs::set_metrics_enabled(false);
+    rpt_obs::set_filter(rpt_obs::Filter::parse("off"));
+    let (dark_bytes, dark_losses) = run_once("dark");
+
+    assert_eq!(
+        hot_losses, dark_losses,
+        "loss curve diverged between instrumented and dark runs"
+    );
+    assert_eq!(
+        hot_bytes, dark_bytes,
+        "final checkpoint bytes diverged between instrumented and dark runs"
+    );
+    fs::remove_dir_all(&scratch).ok();
+}
