@@ -91,18 +91,105 @@ fn bench_function(name: &str, mut f: impl FnMut()) -> Duration {
     samples[n_samples / 2]
 }
 
+/// Single-thread matmul kernel cost, including the logit-projection shape
+/// that `bench_parallel` scales across threads (the PR-3 "floor" this PR's
+/// SIMD microkernel attacks). Writes `bench_results/bench_matmul.json`
+/// recording the medians and whether the AVX2 path was active.
+/// Times several closures by interleaving their samples round-robin
+/// rather than finishing one before starting the next. Sequential groups
+/// let clock drift on a busy host penalize whichever candidate runs last
+/// — enough to measure identical code paths >5% apart — which matters
+/// when the artifact asserts ratios between them (the thread-scaling
+/// speedups). Interleaving spreads the drift over every candidate
+/// equally. Returns each closure's median per-iteration time.
+fn bench_interleaved(names: &[&str], fs: &mut [&mut dyn FnMut()]) -> Vec<Duration> {
+    let (n_samples, measure, warm_up) = harness_params();
+    let k = fs.len();
+    assert_eq!(names.len(), k);
+    let mut iters_each = Vec::with_capacity(k);
+    for f in fs.iter_mut() {
+        let t0 = Instant::now();
+        let budget = warm_up / k as u32;
+        let mut done = 0u64;
+        while t0.elapsed() < budget {
+            f();
+            done += 1;
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / done as f64;
+        let per_sample = measure.as_secs_f64() / (n_samples * k) as f64;
+        iters_each.push(((per_sample / per_iter).ceil() as u64).max(1));
+    }
+    let mut samples = vec![Vec::with_capacity(n_samples); k];
+    for _ in 0..n_samples {
+        for (fi, f) in fs.iter_mut().enumerate() {
+            let iters = iters_each[fi];
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            samples[fi].push(t0.elapsed() / iters as u32);
+        }
+    }
+    names
+        .iter()
+        .zip(samples.iter_mut())
+        .zip(iters_each.iter())
+        .map(|((name, s), iters)| {
+            s.sort_unstable();
+            println!(
+                "{name:<34} {:>12} [{} .. {}]  ({iters} iters/sample, interleaved)",
+                human(s[n_samples / 2]),
+                human(s[0]),
+                human(s[n_samples - 1]),
+            );
+            s[n_samples / 2]
+        })
+        .collect()
+}
+
 fn bench_matmul() {
     let mut rng = SmallRng::seed_from_u64(1);
     let a = init::normal(&[64, 64], 1.0, &mut rng);
     let b = init::normal(&[64, 64], 1.0, &mut rng);
-    bench_function("tensor/matmul_64x64", || {
+    let m64 = bench_function("tensor/matmul_64x64", || {
         std::hint::black_box(a.matmul2d(&b));
     });
     let a3 = init::normal(&[16, 32, 32], 1.0, &mut rng);
     let b3 = init::normal(&[16, 32, 32], 1.0, &mut rng);
-    bench_function("tensor/bmm_16x32x32", || {
+    let mbmm = bench_function("tensor/bmm_16x32x32", || {
         std::hint::black_box(a3.bmm(&b3));
     });
+    let al = init::normal(&[256, 64], 1.0, &mut rng);
+    let bl = init::normal(&[64, 2000], 1.0, &mut rng);
+    let pool = rpt_par::ThreadPool::new(1);
+    let mlogit = bench_function("tensor/matmul_256x64x2000_t1", || {
+        std::hint::black_box(al.matmul2d_with(&bl, &pool));
+    });
+
+    let mut runs = Vec::new();
+    for (name, med) in [
+        ("matmul_64x64", m64),
+        ("bmm_16x32x32", mbmm),
+        ("matmul_256x64x2000_t1", mlogit),
+    ] {
+        let mut e = rpt_json::Map::new();
+        e.insert("name".into(), rpt_json::Json::from(name));
+        e.insert("median_ns".into(), rpt_json::Json::from(med.as_nanos() as u64));
+        runs.push(rpt_json::Json::Object(e));
+    }
+    let mut root = rpt_json::Map::new();
+    root.insert("bench".into(), rpt_json::Json::from("matmul_single_thread"));
+    root.insert("simd".into(), rpt_json::Json::from(rpt_tensor::simd::simd_enabled()));
+    root.insert(
+        "hardware_threads".into(),
+        rpt_json::Json::from(std::thread::available_parallelism().map_or(1, |n| n.get())),
+    );
+    root.insert("runs".into(), rpt_json::Json::Array(runs));
+    root.insert(
+        "single_thread_logit_matmul_ns".into(),
+        rpt_json::Json::from(mlogit.as_nanos() as u64),
+    );
+    rpt_bench::emit_artifact("bench_matmul", &rpt_json::Json::Object(root));
 }
 
 fn bench_softmax_layernorm() {
@@ -223,11 +310,13 @@ fn bench_parallel() {
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let reference = a.matmul2d_with(&b, &rpt_par::ThreadPool::new(1));
-    let mut entries = Vec::new();
-    let mut medians = Vec::new();
-    for threads in [1usize, 2, 4] {
-        let pool = rpt_par::ThreadPool::new(threads);
-        let out = a.matmul2d_with(&b, &pool);
+    let thread_counts = [1usize, 2, 4];
+    let pools: Vec<rpt_par::ThreadPool> = thread_counts
+        .iter()
+        .map(|&t| rpt_par::ThreadPool::new(t))
+        .collect();
+    for (&threads, pool) in thread_counts.iter().zip(&pools) {
+        let out = a.matmul2d_with(&b, pool);
         assert_eq!(
             out.data()
                 .iter()
@@ -237,21 +326,38 @@ fn bench_parallel() {
             0,
             "parallel matmul must be bit-identical at {threads} threads"
         );
-        let med = bench_function(&format!("parallel/matmul_256x64x2000_t{threads}"), || {
-            std::hint::black_box(a.matmul2d_with(&b, &pool));
-        });
+    }
+    let names: Vec<String> = thread_counts
+        .iter()
+        .map(|t| format!("parallel/matmul_256x64x2000_t{t}"))
+        .collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut closures: Vec<Box<dyn FnMut()>> = pools
+        .iter()
+        .map(|pool| {
+            Box::new(|| {
+                std::hint::black_box(a.matmul2d_with(&b, pool));
+            }) as Box<dyn FnMut()>
+        })
+        .collect();
+    let mut closure_refs: Vec<&mut dyn FnMut()> =
+        closures.iter_mut().map(|c| c.as_mut() as &mut dyn FnMut()).collect();
+    let meds = bench_interleaved(&name_refs, &mut closure_refs);
+
+    let mut entries = Vec::new();
+    let mut medians = Vec::new();
+    for (&threads, &med) in thread_counts.iter().zip(&meds) {
         medians.push(med.as_secs_f64());
         let mut e = rpt_json::Map::new();
-        e.insert("threads".into(), rpt_json::Json::from(threads as f64));
-        e.insert("median_ns".into(), rpt_json::Json::from(med.as_nanos() as f64));
+        // integer-valued fields serialize as JSON integers (not "4.0")
+        e.insert("threads".into(), rpt_json::Json::from(threads));
+        e.insert("median_ns".into(), rpt_json::Json::from(med.as_nanos() as u64));
         entries.push(rpt_json::Json::Object(e));
     }
     let mut root = rpt_json::Map::new();
     root.insert("bench".into(), rpt_json::Json::from("matmul_256x64x2000"));
-    root.insert(
-        "hardware_threads".into(),
-        rpt_json::Json::from(hw as f64),
-    );
+    root.insert("simd".into(), rpt_json::Json::from(rpt_tensor::simd::simd_enabled()));
+    root.insert("hardware_threads".into(), rpt_json::Json::from(hw));
     root.insert("runs".into(), rpt_json::Json::Array(entries));
     root.insert("speedup_2".into(), rpt_json::Json::from(medians[0] / medians[1]));
     root.insert("speedup_4".into(), rpt_json::Json::from(medians[0] / medians[2]));
@@ -295,11 +401,11 @@ fn bench_decode() {
         let mut e = rpt_json::Map::new();
         e.insert(
             "cached_ns".into(),
-            rpt_json::Json::from(cached.as_nanos() as f64),
+            rpt_json::Json::from(cached.as_nanos() as u64),
         );
         e.insert(
             "uncached_ns".into(),
-            rpt_json::Json::from(uncached.as_nanos() as f64),
+            rpt_json::Json::from(uncached.as_nanos() as u64),
         );
         e.insert(
             "cached_tokens_per_sec".into(),
@@ -350,10 +456,10 @@ fn bench_decode() {
     root.insert("bench".into(), rpt_json::Json::from("decode_src24_d64_2+2layers"));
     root.insert(
         "hardware_threads".into(),
-        rpt_json::Json::from(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
+        rpt_json::Json::from(std::thread::available_parallelism().map_or(1, |n| n.get())),
     );
-    root.insert("max_steps".into(), rpt_json::Json::from(MAX_STEPS as f64));
-    root.insert("beam_width".into(), rpt_json::Json::from(WIDTH as f64));
+    root.insert("max_steps".into(), rpt_json::Json::from(MAX_STEPS));
+    root.insert("beam_width".into(), rpt_json::Json::from(WIDTH));
     root.insert("greedy".into(), greedy);
     root.insert("beam".into(), beam);
     rpt_bench::emit_artifact("bench_decode", &rpt_json::Json::Object(root));

@@ -3,11 +3,15 @@
 //! and evaluation code paths.
 
 /// Log-softmax of one logits row (host side): `x - logsumexp(x)`, computed
-/// with the max-subtraction trick for stability.
+/// with the max-subtraction trick for stability. The max reduction and the
+/// final shift use the bit-identical SIMD kernels from `rpt-tensor`; the
+/// exp-sum stays scalar to preserve accumulation order (see DESIGN.md).
 pub fn log_softmax_row(row: &[f32]) -> Vec<f32> {
-    let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let max = rpt_tensor::simd::row_max(row);
     let lse = max + row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
-    row.iter().map(|&x| x - lse).collect()
+    let mut out = row.to_vec();
+    rpt_tensor::simd::shift_in_place(&mut out, lse);
+    out
 }
 
 /// Index of the maximum element; ties break toward the last occurrence

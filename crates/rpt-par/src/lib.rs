@@ -16,10 +16,22 @@
 //! * unset / empty / `"1"` → 1 thread (the caller only; existing
 //!   single-threaded behaviour is unchanged),
 //! * `"0"` or `"auto"` → [`std::thread::available_parallelism`],
-//! * `N` → exactly `N` threads.
+//! * `N` → `N` *configured* threads.
 //!
-//! Explicit pools ([`ThreadPool::new`]) are used by tests to compare thread
-//! counts inside one process.
+//! The global pool **clamps its dispatch width** to the hardware:
+//! asking for `RPT_THREADS=4` on a 1-core machine keeps
+//! [`ThreadPool::num_threads`] at 4 (anything keyed to the configured
+//! count — shard ordering, reduction order — is unchanged, so checkpoints
+//! stay byte-identical), but only [`ThreadPool::dispatch_width`] ≤
+//! `available_parallelism` threads actually run tasks. Oversubscribing a
+//! core buys no throughput and pays latch/wake overhead per section — the
+//! clamp is what fixed the 0.87× 4-thread regression in
+//! `bench_results/bench_parallel.json`. A one-time warning is logged when
+//! the clamp engages.
+//!
+//! Explicit pools ([`ThreadPool::new`]) are *not* clamped: tests use them
+//! to exercise real cross-thread dispatch (panic propagation, nesting,
+//! work stealing) even on narrow hardware.
 //!
 //! ## Execution model
 //!
@@ -125,14 +137,48 @@ impl Latch {
 pub struct ThreadPool {
     senders: Vec<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
+    /// The *configured* thread count. May exceed `senders.len() + 1` when
+    /// the dispatch width was clamped to the hardware ([`ThreadPool::clamped`]).
+    configured: usize,
 }
 
 impl ThreadPool {
     /// Creates a pool that runs scoped sections on `threads` threads
     /// (`threads - 1` spawned workers plus the calling thread). `0` is
-    /// treated as `1`.
+    /// treated as `1`. No hardware clamp — tests rely on this to exercise
+    /// real multi-thread dispatch on any machine; use [`ThreadPool::clamped`]
+    /// for production sizing.
     pub fn new(threads: usize) -> Self {
-        let workers = threads.max(1) - 1;
+        let threads = threads.max(1);
+        Self::with_width(threads, threads)
+    }
+
+    /// Creates a pool configured for `threads` threads but dispatching on
+    /// at most [`hardware_threads`] of them. The configured count is still
+    /// reported by [`ThreadPool::num_threads`], so anything keyed to it
+    /// (shard ordering, fixed-order reductions) is unaffected; only the
+    /// number of OS threads competing for cores shrinks. Logs a one-time
+    /// warning when the clamp engages.
+    pub fn clamped(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let width = threads.min(hardware_threads());
+        if width < threads {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                rpt_obs::warn!(
+                    target: "rpt_par",
+                    "RPT_THREADS={threads} exceeds available_parallelism={}; \
+                     dispatching on {width} thread(s) (shard ordering keeps \
+                     the configured count, results are unchanged)",
+                    hardware_threads()
+                );
+            });
+        }
+        Self::with_width(threads, width)
+    }
+
+    fn with_width(configured: usize, width: usize) -> Self {
+        let workers = width.max(1) - 1;
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -150,17 +196,34 @@ impl ThreadPool {
             senders.push(tx);
             handles.push(handle);
         }
-        Self { senders, handles }
+        Self {
+            senders,
+            handles,
+            configured,
+        }
     }
 
-    /// The process-wide pool, sized from `RPT_THREADS` on first use.
+    /// The process-wide pool, sized from `RPT_THREADS` on first use, with
+    /// the dispatch width clamped to the hardware.
     pub fn global() -> &'static ThreadPool {
         static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
-        GLOBAL.get_or_init(|| ThreadPool::new(threads_from_env(std::env::var("RPT_THREADS").ok().as_deref())))
+        GLOBAL.get_or_init(|| {
+            ThreadPool::clamped(threads_from_env(std::env::var("RPT_THREADS").ok().as_deref()))
+        })
     }
 
-    /// Number of threads a scoped section runs on (workers + caller).
+    /// The configured thread count. Determinism-relevant consumers (shard
+    /// ordering, fixed-order reductions) key off this, so a clamped pool
+    /// produces byte-identical results to an unclamped one.
     pub fn num_threads(&self) -> usize {
+        self.configured
+    }
+
+    /// Number of threads that actually execute tasks (spawned workers +
+    /// the caller). Equal to [`ThreadPool::num_threads`] unless the pool
+    /// was built by [`ThreadPool::clamped`] on narrower hardware. Cost
+    /// models (e.g. the matmul chunker) size fan-out from this.
+    pub fn dispatch_width(&self) -> usize {
         self.senders.len() + 1
     }
 
@@ -371,11 +434,21 @@ impl<T> SendPtr<T> {
 pub fn threads_from_env(value: Option<&str>) -> usize {
     match value.map(str::trim) {
         None | Some("") => 1,
-        Some("0") | Some("auto") => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        Some("0") | Some("auto") => hardware_threads(),
         Some(v) => v.parse::<usize>().unwrap_or(1).max(1),
     }
+}
+
+/// [`std::thread::available_parallelism`], cached (the syscall reads
+/// cgroup limits) and defaulting to 1 on error. This is the dispatch-width
+/// ceiling for [`ThreadPool::clamped`] and the matmul fan-out cost model.
+pub fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 #[cfg(test)]
@@ -545,6 +618,42 @@ mod tests {
         let pool = ThreadPool::new(3);
         pool.for_each(0, |_| panic!("must not run"));
         assert!(pool.map(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn clamped_pool_keeps_configured_count_but_narrows_dispatch() {
+        let hw = hardware_threads();
+        let wide = hw + 3;
+        let pool = ThreadPool::clamped(wide);
+        assert_eq!(pool.num_threads(), wide, "configured count must survive");
+        assert_eq!(pool.dispatch_width(), hw, "dispatch must clamp to hardware");
+        // clamped dispatch still covers every task exactly once
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_each(64, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        // at or below the hardware width nothing is clamped
+        let small = ThreadPool::clamped(1);
+        assert_eq!(small.num_threads(), 1);
+        assert_eq!(small.dispatch_width(), 1);
+    }
+
+    #[test]
+    fn unclamped_pool_dispatch_width_matches_configuration() {
+        // Explicit pools keep full dispatch width so cross-thread machinery
+        // stays exercised on narrow hardware.
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.num_threads(), 4);
+        assert_eq!(pool.dispatch_width(), 4);
+    }
+
+    #[test]
+    fn clamped_pool_map_matches_serial() {
+        let expected: Vec<u64> = (0..100u64).map(|i| i * 3 + 1).collect();
+        let pool = ThreadPool::clamped(hardware_threads() + 5);
+        let got = pool.map(100, |i| (i as u64) * 3 + 1);
+        assert_eq!(got, expected);
     }
 
     #[test]

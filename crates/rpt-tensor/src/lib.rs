@@ -35,16 +35,19 @@
 //! assert_eq!(gx.data(), &[2.0, 4.0, 6.0]);
 //! ```
 
+pub mod arena;
 pub mod init;
 pub mod optim;
 pub mod serialize;
+pub mod simd;
 pub mod tape;
 pub mod tensor;
 
+pub use arena::Arena;
 pub use optim::{clip_global_norm, Adam, AdamConfig, AdamState, ParamId, ParamStore, Sgd};
 pub use serialize::{CheckpointError, TrainState};
 pub use tape::{Gradients, Tape, Var};
-pub use tensor::Tensor;
+pub use tensor::{matmul_chunk_count, matmul_rows_blocked_force, Tensor, PAR_MIN_MADDS_PER_CHUNK};
 
 /// Numerical gradient checking utility, used by the test suites of this
 /// crate and of `rpt-nn` to validate analytic gradients of composite ops.

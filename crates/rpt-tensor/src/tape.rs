@@ -6,10 +6,12 @@
 //! order (which is a topological order by construction) and accumulates.
 
 use std::cell::RefCell;
+use std::ptr::NonNull;
 use std::sync::LazyLock;
 
 use rpt_rng::Rng;
 
+use crate::arena::Arena;
 use crate::tensor::{softmax_row, Tensor};
 
 /// Handle to a node on a [`Tape`]. Cheap to copy; only valid for the tape
@@ -19,13 +21,24 @@ pub struct Var {
     pub(crate) id: usize,
 }
 
-type GradFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
+/// Raw pointer to a backward closure living in the tape's [`Arena`]. The
+/// arena owns the closure (keeps it alive, runs its destructor on tape
+/// drop); nodes only borrow it during [`Tape::backward`]. This replaces
+/// the former per-node `Box<dyn Fn>`, eliminating one heap allocation per
+/// recorded op.
+type GradFnPtr = NonNull<dyn Fn(&Tensor) -> Vec<Tensor>>;
+
+/// Every op in the set has at most two parents, so parent ids are stored
+/// inline instead of in a per-node `Vec` (the second former per-op heap
+/// allocation).
+const MAX_PARENTS: usize = 2;
 
 struct Node {
     value: Tensor,
-    parents: Vec<usize>,
+    parents: [u32; MAX_PARENTS],
+    n_parents: u8,
     /// None for leaves/constants: nothing to propagate further.
-    grad_fn: Option<GradFn>,
+    grad_fn: Option<GradFnPtr>,
 }
 
 /// Gradients produced by [`Tape::backward`], indexed by [`Var`].
@@ -46,9 +59,15 @@ impl Gradients {
 }
 
 /// A computation graph recorder. See the crate-level docs for the model.
+///
+/// Backward closures are bump-allocated in `arena` rather than boxed.
+/// Field order matters for `Drop`: `nodes` (holding raw pointers into the
+/// arena, but owning nothing there) is dropped first, then the arena runs
+/// the closures' destructors and frees its chunks.
 #[derive(Default)]
 pub struct Tape {
     nodes: RefCell<Vec<Node>>,
+    arena: Arena,
     forward_only: bool,
 }
 
@@ -66,6 +85,7 @@ impl Tape {
     pub fn inference() -> Self {
         Self {
             nodes: RefCell::new(Vec::new()),
+            arena: Arena::new(),
             forward_only: true,
         }
     }
@@ -86,7 +106,7 @@ impl Tape {
         self.len() == 0
     }
 
-    fn push(&self, value: Tensor, parents: Vec<usize>, grad_fn: Option<GradFn>) -> Var {
+    fn push(&self, value: Tensor, parents: &[usize], grad_fn: Option<GradFnPtr>) -> Var {
         // Tape volume metrics (DESIGN.md §Observability). One relaxed load
         // when metrics are off; the handles resolve once per process.
         struct TapeObs {
@@ -101,10 +121,19 @@ impl Tape {
             OBS.nodes.inc();
             OBS.bytes.add(4 * value.numel() as u64);
         }
+        assert!(
+            parents.len() <= MAX_PARENTS,
+            "tape ops have at most {MAX_PARENTS} parents"
+        );
+        let mut ps = [0u32; MAX_PARENTS];
+        for (slot, &p) in ps.iter_mut().zip(parents) {
+            *slot = u32::try_from(p).expect("tape node id exceeds u32::MAX");
+        }
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node {
             value,
-            parents,
+            parents: ps,
+            n_parents: parents.len() as u8,
             grad_fn,
         });
         Var {
@@ -113,25 +142,33 @@ impl Tape {
     }
 
     /// Records a differentiable op's result. On a recording tape the parent
-    /// edges are copied and the backward closure boxed; on a forward-only
-    /// tape neither allocation happens — the unboxed closure is dropped on
-    /// the spot, releasing the tensors it captured. Keeping the closure
-    /// generic (rather than taking a pre-boxed `GradFn`) is what makes the
-    /// inference path allocation-free per op.
+    /// ids go inline into the node and the backward closure is moved into
+    /// the tape's bump arena (no per-op heap allocation); on a forward-only
+    /// tape the closure is dropped on the spot, releasing the tensors it
+    /// captured. Keeping the closure generic (rather than taking a
+    /// pre-boxed `GradFn`) is what lets both paths avoid boxing.
     fn push_op<F>(&self, value: Tensor, parents: &[usize], grad_fn: F) -> Var
     where
         F: Fn(&Tensor) -> Vec<Tensor> + 'static,
     {
         if self.forward_only {
-            self.push(value, Vec::new(), None)
+            self.push(value, &[], None)
         } else {
-            self.push(value, parents.to_vec(), Some(Box::new(grad_fn)))
+            static ARENA_BYTES: LazyLock<rpt_obs::Counter> =
+                LazyLock::new(|| rpt_obs::counter("tensor.tape_arena_bytes"));
+            if rpt_obs::metrics_enabled() {
+                ARENA_BYTES.add(std::mem::size_of::<F>() as u64);
+            }
+            let thin: *mut F = self.arena.alloc(grad_fn);
+            let wide: *mut dyn Fn(&Tensor) -> Vec<Tensor> = thin;
+            // SAFETY: the arena never hands out null pointers.
+            self.push(value, parents, Some(unsafe { NonNull::new_unchecked(wide) }))
         }
     }
 
     /// Inserts a leaf (input or parameter). Gradients are accumulated for it.
     pub fn leaf(&self, t: Tensor) -> Var {
-        self.push(t, Vec::new(), None)
+        self.push(t, &[], None)
     }
 
     /// Inserts a constant. Identical to [`Tape::leaf`]; named for intent at
@@ -504,11 +541,11 @@ impl Tape {
         let last = *av.shape().last().expect("log_softmax 0-d");
         let mut out = av.data().to_vec();
         for row in out.chunks_mut(last) {
-            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            // The max reduction and the shift vectorize bit-identically;
+            // the exp-sum stays scalar to preserve accumulation order.
+            let max = crate::simd::row_max(row);
             let lse = max + row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
-            for x in row.iter_mut() {
-                *x -= lse;
-            }
+            crate::simd::shift_in_place(row, lse);
         }
         let out_t = Tensor::from_vec(out, av.shape()).expect("log_softmax shape");
         let out_c = out_t.clone();
@@ -542,10 +579,10 @@ impl Tape {
             let var = src.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / last as f32;
             let inv = 1.0 / (var + eps).sqrt();
             inv_stds.push(inv);
-            let dst = &mut out[r * last..(r + 1) * last];
-            for (o, &x) in dst.iter_mut().zip(src.iter()) {
-                *o = (x - mean) * inv;
-            }
+            // Mean/variance sums stay scalar (order-sensitive); the
+            // normalization itself is elementwise and vectorizes
+            // bit-identically.
+            crate::simd::affine_row(&mut out[r * last..(r + 1) * last], src, mean, inv);
         }
         let out_t = Tensor::from_vec(out, av.shape()).expect("layer_norm shape");
         let out_c = out_t.clone();
@@ -762,11 +799,15 @@ impl Tape {
         for id in (0..=loss.id).rev() {
             let Some(g) = grads[id].take() else { continue };
             let node = &nodes[id];
-            if let Some(grad_fn) = &node.grad_fn {
+            if let Some(grad_fn) = node.grad_fn {
+                // SAFETY: the closure lives in `self.arena`, which outlives
+                // this borrow of `self` (see the `Tape` drop-order note).
+                let grad_fn = unsafe { grad_fn.as_ref() };
                 let parent_grads = grad_fn(&g);
-                debug_assert_eq!(parent_grads.len(), node.parents.len());
-                for (pid, pg) in node.parents.iter().zip(parent_grads) {
-                    match &mut grads[*pid] {
+                let n = node.n_parents as usize;
+                debug_assert_eq!(parent_grads.len(), n);
+                for (pid, pg) in node.parents[..n].iter().zip(parent_grads) {
+                    match &mut grads[*pid as usize] {
                         Some(acc) => acc.add_assign(&pg),
                         slot @ None => *slot = Some(pg),
                     }
@@ -1133,6 +1174,47 @@ mod tests {
         let x = tape.leaf(t(&[1.0, 2.0], &[2]));
         let loss = tape.sum_all(x);
         let _ = tape.backward(loss);
+    }
+
+    #[test]
+    fn recording_tape_uses_arena_and_inference_tape_does_not() {
+        let run = |tape: &Tape| {
+            let x = tape.leaf(t(&[0.5, -1.0, 2.0, 0.3], &[2, 2]));
+            let y = tape.gelu(tape.mul(x, x));
+            tape.sum_all(y)
+        };
+        let train = Tape::new();
+        let loss = run(&train);
+        assert!(
+            train.arena.allocated_bytes() > 0,
+            "recording tape must bump-allocate its backward closures"
+        );
+        let _ = train.backward(loss);
+
+        let infer = Tape::inference();
+        run(&infer);
+        assert_eq!(
+            infer.arena.allocated_bytes(),
+            0,
+            "forward-only tape must not touch the arena"
+        );
+    }
+
+    #[test]
+    fn long_tape_grows_arena_across_chunks_and_backward_stays_exact() {
+        // Enough ops to force multiple arena chunks; gradient of
+        // y = x * 2^n via n doublings is 2^n exactly in f32.
+        let tape = Tape::new();
+        let x = tape.leaf(t(&[1.0, -3.0], &[2]));
+        let mut y = x;
+        let n = 12;
+        for _ in 0..n {
+            y = tape.add(y, y);
+        }
+        let grads = tape.backward(tape.sum_all(y));
+        let expected = (1u32 << n) as f32;
+        assert_eq!(grads.get(x).unwrap().data(), &[expected, expected]);
+        assert!(tape.arena.allocated_bytes() > 0);
     }
 
     #[test]

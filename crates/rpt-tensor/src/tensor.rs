@@ -387,18 +387,19 @@ impl Tensor {
     }
 }
 
-/// Stable in-place softmax of a single row.
+/// Stable in-place softmax of a single row. The max scan and the
+/// normalizing multiply take the SIMD path when enabled; the `exp` loop
+/// and its running sum stay scalar so the summation order (and therefore
+/// every output bit) is identical under `RPT_SIMD=0` and `=1`.
 pub(crate) fn softmax_row(row: &mut [f32]) {
-    let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let max = crate::simd::row_max(row);
     let mut sum = 0.0f32;
     for x in row.iter_mut() {
         *x = (*x - max).exp();
         sum += *x;
     }
     let inv = 1.0 / sum;
-    for x in row.iter_mut() {
-        *x *= inv;
-    }
+    crate::simd::scale_in_place(row, inv);
 }
 
 /// Output rows per register block of the matmul microkernel. Each block of
@@ -411,22 +412,22 @@ const MR: usize = 4;
 /// two full 256-bit (or four 128-bit) vectors per row.
 const NR: usize = 16;
 
+/// Pack `B` panels only when the row count amortizes the copy: a panel is
+/// reused once per row block, so below this many rows the strided reads
+/// are cheaper than the pack pass (decode-time `m = 1` products in
+/// particular must not pay it).
+const PACK_MIN_ROWS: usize = 4 * MR;
+
+thread_local! {
+    /// Per-worker scratch for the packed `B` panel (`k × NR` floats),
+    /// reused across tasks and calls instead of allocating per product.
+    static PACK_SCRATCH: std::cell::Cell<Vec<f32>> = const { std::cell::Cell::new(Vec::new()) };
+}
+
 /// Cache-blocked matmul of `rows` output rows against a single `[k, n]`
 /// right-hand matrix: `out[r, j] = Σ_k a[r, k] · b[k, j]` (`out` must be
-/// zeroed).
-///
-/// Loop order is column-tile outer, row-block middle, `k` inner: the `NR`
-/// hot columns of `B` (k·NR floats) stay L1-resident across every row
-/// block, and `A` streams once per column tile (it is the smaller operand
-/// in every product this library performs). Inside a full `MR × NR` tile
-/// the accumulators are a register array updated as a rank-1 outer product
-/// per `k`.
-///
-/// Bit-identity: every output element is one scalar accumulator updated
-/// `acc += a·b` in strictly ascending `k` order — in the full-tile path,
-/// the edge-tile path, and any thread partitioning alike (Rust never
-/// contracts the mul+add to an FMA). The result is therefore identical
-/// bit-for-bit regardless of tile placement or thread count.
+/// zeroed). Dispatches to the AVX2 register tile when the runtime SIMD
+/// gate is open (see [`crate::simd`]).
 pub(crate) fn matmul_rows_blocked(
     a: &[f32],
     b: &[f32],
@@ -435,19 +436,111 @@ pub(crate) fn matmul_rows_blocked(
     k: usize,
     n: usize,
 ) {
+    matmul_rows_blocked_impl(a, b, out, rows, k, n, crate::simd::simd_enabled());
+}
+
+/// [`matmul_rows_blocked`] with the kernel choice forced, public for the
+/// SIMD/scalar equivalence suite (`use_simd = true` silently falls back
+/// to scalar when AVX2 is unavailable). Both paths are bit-identical.
+pub fn matmul_rows_blocked_force(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    use_simd: bool,
+) {
+    matmul_rows_blocked_impl(a, b, out, rows, k, n, use_simd);
+}
+
+/// Loop order is column-tile outer, row-block middle, `k` inner: the `NR`
+/// hot columns of `B` (k·NR floats) stay L1-resident across every row
+/// block, and `A` streams once per column tile (it is the smaller operand
+/// in every product this library performs). For `rows >= PACK_MIN_ROWS`
+/// the tile's `B` columns are first packed contiguously into a per-thread
+/// scratch panel, turning the strided `k`-loop loads into dense ones.
+///
+/// Inside a full `MR × NR` tile the accumulators are a register array
+/// updated as a rank-1 outer product per `k` — on the SIMD path eight
+/// `f32x8` `ymm` accumulators ([`crate::simd::tile_4x16_avx2`]), on the
+/// scalar path the autovectorized equivalent.
+///
+/// Bit-identity: every output element is one scalar accumulator updated
+/// `acc += a·b` in strictly ascending `k` order — in the full-tile path
+/// (scalar or AVX2: `vmulps` + `vaddps`, never FMA-contracted), the
+/// edge-tile path, and any thread partitioning alike. Packing is pure
+/// data movement. The result is therefore identical bit-for-bit
+/// regardless of tile placement, thread count, or kernel choice.
+fn matmul_rows_blocked_impl(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    use_simd: bool,
+) {
     debug_assert_eq!(a.len(), rows * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), rows * n);
+    #[cfg(target_arch = "x86_64")]
+    let use_simd = use_simd && crate::simd::simd_available();
+    #[cfg(not(target_arch = "x86_64"))]
+    let use_simd = {
+        let _ = use_simd;
+        false
+    };
+    let pack = rows >= PACK_MIN_ROWS && k * NR <= 1 << 20;
+    let mut panel = if pack {
+        let mut p = PACK_SCRATCH.with(|cell| cell.take());
+        p.clear();
+        p.reserve(k * NR);
+        p
+    } else {
+        Vec::new()
+    };
     let mut j = 0;
     while j < n {
         let nr = NR.min(n - j);
+        // (base pointer, row stride) for this tile's B columns: either the
+        // packed panel or the strided original.
+        let (bp, ldb) = if pack {
+            panel.clear();
+            for kk in 0..k {
+                panel.extend_from_slice(&b[kk * n + j..kk * n + j + nr]);
+            }
+            (panel.as_slice(), nr)
+        } else {
+            (&b[j..], n)
+        };
         let mut r = 0;
         while r < rows {
             let mr = MR.min(rows - r);
             if mr == MR && nr == NR {
+                #[cfg(target_arch = "x86_64")]
+                if use_simd {
+                    // SAFETY: AVX2 availability checked above; `a` holds
+                    // MR rows of stride k starting at row r, `bp` holds k
+                    // rows of stride ldb with NR valid columns, `out`
+                    // holds MR rows of stride n at (r, j).
+                    unsafe {
+                        crate::simd::tile_4x16_avx2(
+                            a.as_ptr().add(r * k),
+                            k,
+                            bp.as_ptr(),
+                            ldb,
+                            k,
+                            out.as_mut_ptr().add(r * n + j),
+                            n,
+                        );
+                    }
+                    r += MR;
+                    continue;
+                }
                 let mut acc = [[0.0f32; NR]; MR];
                 for kk in 0..k {
-                    let brow = &b[kk * n + j..kk * n + j + NR];
+                    let brow = &bp[kk * ldb..kk * ldb + NR];
                     for (ri, acc_row) in acc.iter_mut().enumerate() {
                         let av = a[(r + ri) * k + kk];
                         for (jj, &bv) in brow.iter().enumerate() {
@@ -467,7 +560,7 @@ pub(crate) fn matmul_rows_blocked(
                     let o = (r + ri) * n + j;
                     let out_row = &mut out[o..o + nr];
                     for (kk, &av) in a_row.iter().enumerate() {
-                        let brow = &b[kk * n + j..kk * n + j + nr];
+                        let brow = &bp[kk * ldb..kk * ldb + nr];
                         for (ov, &bv) in out_row.iter_mut().zip(brow.iter()) {
                             *ov += av * bv;
                         }
@@ -478,18 +571,47 @@ pub(crate) fn matmul_rows_blocked(
         }
         j += NR;
     }
+    if pack {
+        PACK_SCRATCH.with(|cell| cell.set(panel));
+    }
 }
 
-/// Below this many multiply-adds the dispatch overhead outweighs the win
-/// and the product runs on the calling thread.
-const PAR_MIN_MADDS: usize = 16 * 1024;
+/// Minimum multiply-adds **per parallel chunk**. A chunk below this costs
+/// more in latch/wake dispatch than its arithmetic is worth, so the
+/// chunker never creates one (the old constant was a per-*call* gate,
+/// which still fanned a barely-parallel product out to `threads` tiny
+/// tasks). ~128 K madds is ≈60–130 µs of kernel work — comfortably above
+/// the few-µs cost of waking a worker.
+pub const PAR_MIN_MADDS_PER_CHUNK: usize = 128 * 1024;
+
+/// Cost model for the batched matmul: how many row chunks to fan
+/// `rows × k × n` madds out to, given the pool's dispatch width.
+///
+/// * never more chunks than `width`, and `width` is already clamped to
+///   the hardware by the caller — oversubscribing cores was the
+///   0.87×-at-4-threads bug `bench_parallel.json` recorded;
+/// * every chunk carries at least [`PAR_MIN_MADDS_PER_CHUNK`] madds;
+/// * never more chunks than rows (a chunk must own ≥ 1 row).
+///
+/// Chunk *count* only decides which thread computes which rows; each
+/// row's arithmetic is self-contained, so any return value produces
+/// bit-identical output.
+pub fn matmul_chunk_count(rows: usize, k: usize, n: usize, width: usize) -> usize {
+    if width <= 1 || rows == 0 {
+        return 1;
+    }
+    let madds = rows.saturating_mul(k).saturating_mul(n);
+    let by_cost = madds / PAR_MIN_MADDS_PER_CHUNK;
+    width.min(by_cost).min(rows).max(1)
+}
 
 /// Batched matmul `out[b,m,n] = a[b,m,k] x bmat[b,k,n]` with the `b * m`
-/// output rows partitioned into contiguous per-thread chunks, each chunk
-/// split at batch boundaries and handed to the blocked microkernel.
-/// `b == 1` degenerates to a plain 2-d product. Thread partitioning only
-/// decides *which* thread runs a row — never the arithmetic order inside
-/// it — so results are bit-identical for every thread count.
+/// output rows partitioned into contiguous chunks sized by
+/// [`matmul_chunk_count`], each chunk split at batch boundaries and
+/// handed to the blocked microkernel. `b == 1` degenerates to a plain
+/// 2-d product. Thread partitioning only decides *which* thread runs a
+/// row — never the arithmetic order inside it — so results are
+/// bit-identical for every thread count.
 fn matmul_batched(
     pool: &rpt_par::ThreadPool,
     a: &[f32],
@@ -528,12 +650,17 @@ fn matmul_batched(
             off += seg * n;
         }
     };
-    let threads = pool.num_threads();
-    if threads == 1 || rows * k * n < PAR_MIN_MADDS {
+    // Effective fan-out: the pool's real dispatch width, further clamped
+    // to the hardware (explicit test pools are built unclamped).
+    let width = pool
+        .dispatch_width()
+        .min(rpt_par::hardware_threads());
+    let chunks = matmul_chunk_count(rows, k, n, width);
+    if chunks <= 1 {
         run(0, out);
         return;
     }
-    let rows_per_chunk = rows.div_ceil(threads);
+    let rows_per_chunk = rows.div_ceil(chunks);
     pool.chunks_mut(out, rows_per_chunk * n, |ci, chunk| {
         run(ci * rows_per_chunk, chunk);
     });
