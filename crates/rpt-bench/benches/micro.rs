@@ -174,12 +174,18 @@ fn bench_matmul() {
     ] {
         let mut e = rpt_json::Map::new();
         e.insert("name".into(), rpt_json::Json::from(name));
-        e.insert("median_ns".into(), rpt_json::Json::from(med.as_nanos() as u64));
+        e.insert(
+            "median_ns".into(),
+            rpt_json::Json::from(med.as_nanos() as u64),
+        );
         runs.push(rpt_json::Json::Object(e));
     }
     let mut root = rpt_json::Map::new();
     root.insert("bench".into(), rpt_json::Json::from("matmul_single_thread"));
-    root.insert("simd".into(), rpt_json::Json::from(rpt_tensor::simd::simd_enabled()));
+    root.insert(
+        "simd".into(),
+        rpt_json::Json::from(rpt_tensor::simd::simd_enabled()),
+    );
     root.insert(
         "hardware_threads".into(),
         rpt_json::Json::from(std::thread::available_parallelism().map_or(1, |n| n.get())),
@@ -340,8 +346,10 @@ fn bench_parallel() {
             }) as Box<dyn FnMut()>
         })
         .collect();
-    let mut closure_refs: Vec<&mut dyn FnMut()> =
-        closures.iter_mut().map(|c| c.as_mut() as &mut dyn FnMut()).collect();
+    let mut closure_refs: Vec<&mut dyn FnMut()> = closures
+        .iter_mut()
+        .map(|c| c.as_mut() as &mut dyn FnMut())
+        .collect();
     let meds = bench_interleaved(&name_refs, &mut closure_refs);
 
     let mut entries = Vec::new();
@@ -351,16 +359,28 @@ fn bench_parallel() {
         let mut e = rpt_json::Map::new();
         // integer-valued fields serialize as JSON integers (not "4.0")
         e.insert("threads".into(), rpt_json::Json::from(threads));
-        e.insert("median_ns".into(), rpt_json::Json::from(med.as_nanos() as u64));
+        e.insert(
+            "median_ns".into(),
+            rpt_json::Json::from(med.as_nanos() as u64),
+        );
         entries.push(rpt_json::Json::Object(e));
     }
     let mut root = rpt_json::Map::new();
     root.insert("bench".into(), rpt_json::Json::from("matmul_256x64x2000"));
-    root.insert("simd".into(), rpt_json::Json::from(rpt_tensor::simd::simd_enabled()));
+    root.insert(
+        "simd".into(),
+        rpt_json::Json::from(rpt_tensor::simd::simd_enabled()),
+    );
     root.insert("hardware_threads".into(), rpt_json::Json::from(hw));
     root.insert("runs".into(), rpt_json::Json::Array(entries));
-    root.insert("speedup_2".into(), rpt_json::Json::from(medians[0] / medians[1]));
-    root.insert("speedup_4".into(), rpt_json::Json::from(medians[0] / medians[2]));
+    root.insert(
+        "speedup_2".into(),
+        rpt_json::Json::from(medians[0] / medians[1]),
+    );
+    root.insert(
+        "speedup_4".into(),
+        rpt_json::Json::from(medians[0] / medians[2]),
+    );
     rpt_bench::emit_artifact("bench_parallel", &rpt_json::Json::Object(root));
 }
 
@@ -423,7 +443,14 @@ fn bench_decode() {
     }
 
     let g_cached = bench_function("decode/greedy_32steps_cached", || {
-        std::hint::black_box(greedy_decode(&model, &mut params, &src, bos, eos, MAX_STEPS));
+        std::hint::black_box(greedy_decode(
+            &model,
+            &mut params,
+            &src,
+            bos,
+            eos,
+            MAX_STEPS,
+        ));
     });
     let g_uncached = bench_function("decode/greedy_32steps_uncached", || {
         std::hint::black_box(greedy_decode_reference(
@@ -453,7 +480,10 @@ fn bench_decode() {
     let beam = section(b_cached, b_uncached, (WIDTH * MAX_STEPS) as f64);
 
     let mut root = rpt_json::Map::new();
-    root.insert("bench".into(), rpt_json::Json::from("decode_src24_d64_2+2layers"));
+    root.insert(
+        "bench".into(),
+        rpt_json::Json::from("decode_src24_d64_2+2layers"),
+    );
     root.insert(
         "hardware_threads".into(),
         rpt_json::Json::from(std::thread::available_parallelism().map_or(1, |n| n.get())),
@@ -465,11 +495,206 @@ fn bench_decode() {
     rpt_bench::emit_artifact("bench_decode", &rpt_json::Json::Object(root));
 }
 
+/// Server load generator: an in-process `rpt-serve` instance at
+/// `max_batch = 16` over the same Table-1-scale model as `bench_decode`,
+/// driven by 1 / 4 / 16 concurrent HTTP clients issuing greedy decode
+/// (`/v1/clean`) requests. Each level pushes the same total request
+/// count and — by the bit-identity contract — decodes the same tokens,
+/// so throughput ratios isolate the micro-batching win. Writes
+/// `bench_results/bench_serve.json` with tokens/sec (decoded rows from
+/// the `serve.tokens` counter delta), client-side p50/p99 latency, and
+/// the average batch occupancy (rows per fused step, from the
+/// `serve.tokens` / `serve.batch_steps` deltas).
+fn bench_serve() {
+    use std::io::{Read, Write};
+
+    let cfg = TransformerConfig {
+        max_cols: 0,
+        dropout: 0.0,
+        ..TransformerConfig::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut params = ParamStore::new();
+    let model = Seq2Seq::new(&mut params, cfg.clone(), &mut rng);
+    let server = rpt_serve::Server::start(
+        model,
+        params,
+        rpt_serve::ServeConfig {
+            max_batch: 16,
+            queue_cap: 64,
+            ..Default::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr().to_string();
+
+    const MAX_STEPS: usize = 32;
+    let src: Vec<String> = (0..24).map(|i| (9 + (i * 7) % 900).to_string()).collect();
+    let body = format!(
+        r#"{{"src": [{}], "max_steps": {MAX_STEPS}}}"#,
+        src.join(", ")
+    );
+
+    // Keep-alive load generator: each client owns one connection and
+    // issues requests back-to-back over it, so per-request connect and
+    // connection-thread-spawn costs don't dilute the throughput ratio
+    // the artifact asserts. Returns per-request latencies.
+    fn run_client(addr: &str, body: &str, reqs: usize) -> Vec<Duration> {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        let req = format!(
+            "POST /v1/clean HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let mut lats = Vec::with_capacity(reqs);
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        for _ in 0..reqs {
+            let t0 = Instant::now();
+            stream.write_all(req.as_bytes()).expect("write");
+            // read one response: headers, then content-length body bytes
+            let header_end = loop {
+                if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                    break pos + 4;
+                }
+                let n = stream.read(&mut chunk).expect("read");
+                assert!(n > 0, "server closed mid-response");
+                buf.extend_from_slice(&chunk[..n]);
+            };
+            let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+            assert!(
+                head.starts_with("HTTP/1.1 200"),
+                "request failed: {}",
+                head.lines().next().unwrap_or("")
+            );
+            let len: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (k, v) = l.split_once(':')?;
+                    k.eq_ignore_ascii_case("content-length")
+                        .then(|| v.trim().parse().ok())?
+                })
+                .expect("content-length");
+            while buf.len() < header_end + len {
+                let n = stream.read(&mut chunk).expect("read body");
+                assert!(n > 0, "server closed mid-body");
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            buf.drain(..header_end + len);
+            lats.push(t0.elapsed());
+        }
+        lats
+    }
+
+    // Round-robin over the concurrency levels and take per-level medians
+    // — the bench_interleaved rationale: host noise during any one window
+    // would otherwise skew the throughput ratio the artifact asserts.
+    // Each round pushes enough requests that ramp-up/drain (occupancy
+    // below max_batch at the edges) is a small fraction of the window.
+    let (rounds, reqs_per_round): (usize, usize) = if fast_mode() { (2, 32) } else { (5, 128) };
+    run_client(&addr, &body, 2); // warm-up: first requests pay allocator/page cost
+
+    let tokens_ctr = rpt_obs::counter("serve.tokens");
+    let steps_ctr = rpt_obs::counter("serve.batch_steps");
+    let concs = [1usize, 4, 16];
+    let mut tputs = vec![Vec::with_capacity(rounds); concs.len()];
+    let mut occs = vec![Vec::with_capacity(rounds); concs.len()];
+    let mut lats_by_conc = vec![Vec::new(); concs.len()];
+    for _round in 0..rounds {
+        for (ci, &conc) in concs.iter().enumerate() {
+            let reqs_per_client = (reqs_per_round / conc).max(1);
+            let (tokens0, steps0) = (tokens_ctr.value(), steps_ctr.value());
+            let t0 = Instant::now();
+            let lats: Vec<Duration> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..conc)
+                    .map(|_| {
+                        let (addr, body) = (addr.clone(), body.clone());
+                        s.spawn(move || run_client(&addr, &body, reqs_per_client))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("client"))
+                    .collect()
+            });
+            let elapsed = t0.elapsed();
+            let (tokens1, steps1) = (tokens_ctr.value(), steps_ctr.value());
+            tputs[ci].push((tokens1 - tokens0) as f64 / elapsed.as_secs_f64());
+            occs[ci].push((tokens1 - tokens0) as f64 / (steps1 - steps0).max(1) as f64);
+            lats_by_conc[ci].extend(lats);
+        }
+    }
+    server.shutdown();
+
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    };
+    let mut runs = Vec::new();
+    let mut tput_by_conc = Vec::new();
+    for (ci, &conc) in concs.iter().enumerate() {
+        let tokens_per_sec = median(&mut tputs[ci]);
+        let occupancy = median(&mut occs[ci]);
+        let lats = &mut lats_by_conc[ci];
+        lats.sort_unstable();
+        let p50 = lats[lats.len() / 2];
+        let p99 = lats[((lats.len() as f64 * 0.99).ceil() as usize).min(lats.len()) - 1];
+        println!(
+            "serve/clean_greedy_c{conc:<2}            {:>12}/req p50, {} p99, {tokens_per_sec:.0} tok/s, occupancy {occupancy:.2}",
+            human(p50),
+            human(p99),
+        );
+        tput_by_conc.push((conc, tokens_per_sec));
+        let mut e = rpt_json::Map::new();
+        e.insert("concurrency".into(), rpt_json::Json::from(conc));
+        e.insert(
+            "requests".into(),
+            rpt_json::Json::from(rounds * (reqs_per_round / conc).max(1) * conc),
+        );
+        e.insert(
+            "tokens_per_sec".into(),
+            rpt_json::Json::from(tokens_per_sec),
+        );
+        e.insert(
+            "p50_ms".into(),
+            rpt_json::Json::from(p50.as_secs_f64() * 1e3),
+        );
+        e.insert(
+            "p99_ms".into(),
+            rpt_json::Json::from(p99.as_secs_f64() * 1e3),
+        );
+        e.insert(
+            "avg_batch_occupancy".into(),
+            rpt_json::Json::from(occupancy),
+        );
+        runs.push(rpt_json::Json::Object(e));
+    }
+
+    let tput1 = tput_by_conc[0].1;
+    let tput16 = tput_by_conc[2].1;
+    let mut root = rpt_json::Map::new();
+    root.insert(
+        "bench".into(),
+        rpt_json::Json::from("serve_clean_greedy_src24_d64"),
+    );
+    root.insert(
+        "hardware_threads".into(),
+        rpt_json::Json::from(std::thread::available_parallelism().map_or(1, |n| n.get())),
+    );
+    root.insert("max_batch".into(), rpt_json::Json::from(16usize));
+    root.insert("max_steps".into(), rpt_json::Json::from(MAX_STEPS));
+    root.insert("runs".into(), rpt_json::Json::Array(runs));
+    root.insert(
+        "batch16_speedup".into(),
+        rpt_json::Json::from(tput16 / tput1),
+    );
+    rpt_bench::emit_artifact("bench_serve", &rpt_json::Json::Object(root));
+}
+
 fn main() {
     // `cargo bench -- <filter>` runs only groups whose name matches
     // (flags cargo injects, like `--bench`, are skipped)
     let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-    let groups: [(&str, fn()); 9] = [
+    let groups: [(&str, fn()); 10] = [
         ("matmul", bench_matmul),
         ("softmax_layernorm", bench_softmax_layernorm),
         ("attention", bench_attention),
@@ -479,9 +704,12 @@ fn main() {
         ("batching", bench_batching),
         ("parallel", bench_parallel),
         ("decode", bench_decode),
+        ("serve", bench_serve),
     ];
     let (samples, measure, warm_up) = harness_params();
-    println!("micro benchmarks: {samples} samples, ~{measure:?} measurement, {warm_up:?} warm-up\n");
+    println!(
+        "micro benchmarks: {samples} samples, ~{measure:?} measurement, {warm_up:?} warm-up\n"
+    );
     for (name, run) in groups {
         if filter.as_deref().map_or(true, |f| name.contains(f)) {
             run();

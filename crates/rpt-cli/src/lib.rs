@@ -12,14 +12,13 @@
 //! rpt clean   <file.csv> [--column C] [--steps N] [--load M] [--save M] [--output OUT]
 //! rpt detect  <file.csv> [--steps N] [--load M]  hybrid error detection
 //! rpt match   <a.csv> <b.csv> [--threshold T]    unsupervised matching (ZeroER)
+//! rpt serve   <file.csv> [--addr A] [--max-batch N] [--checkpoint-dir DIR]
 //! ```
 
 use std::fmt::Write as _;
 
 use std::path::Path;
 
-use rpt_rng::SmallRng;
-use rpt_rng::SeedableRng;
 use rpt_baselines::ZeroEr;
 use rpt_core::cleaning::{CheckpointOpts, CleaningConfig, Filler, RptC};
 use rpt_core::detect::{detect_errors, DetectorConfig};
@@ -27,6 +26,8 @@ use rpt_core::er::{Blocker, BlockerConfig};
 use rpt_core::train::TrainOpts;
 use rpt_core::vocabulary::build_vocab;
 use rpt_datagen::ErBenchmark;
+use rpt_rng::SeedableRng;
+use rpt_rng::SmallRng;
 use rpt_table::{csv, Table, TableProfile};
 use rpt_tensor::serialize;
 
@@ -62,8 +63,18 @@ pub fn cmd_profile(path: &str) -> Result<String, CliError> {
     let table = load_table(path)?;
     let profile = TableProfile::compute(&table, 0.75, 3);
     let mut out = String::new();
-    let _ = writeln!(out, "table {} — {} rows, {} columns", path, table.len(), table.schema().arity());
-    let _ = writeln!(out, "\n{:<20} {:>9} {:>10} {:>9} {:>8}", "column", "distinct", "null-rate", "numeric", "avg-len");
+    let _ = writeln!(
+        out,
+        "table {} — {} rows, {} columns",
+        path,
+        table.len(),
+        table.schema().arity()
+    );
+    let _ = writeln!(
+        out,
+        "\n{:<20} {:>9} {:>10} {:>9} {:>8}",
+        "column", "distinct", "null-rate", "numeric", "avg-len"
+    );
     for c in &profile.columns {
         let _ = writeln!(
             out,
@@ -238,9 +249,7 @@ pub fn cmd_detect(path: &str, opts: &CleanOptions) -> Result<String, CliError> {
             table.schema().name(s.col),
             table.row(s.row).get(s.col).render(),
             s.agreement,
-            s.z_score
-                .map(|z| format!(", z {z:.1}"))
-                .unwrap_or_default(),
+            s.z_score.map(|z| format!(", z {z:.1}")).unwrap_or_default(),
             s.suggestion
         );
     }
@@ -294,6 +303,73 @@ pub fn cmd_match(path_a: &str, path_b: &str, threshold: f32) -> Result<String, C
     Ok(report)
 }
 
+/// The checkpoint file `rpt serve --checkpoint-dir` watches for
+/// hot-reload (the format `rpt clean --save` writes).
+pub const SERVE_MODEL_FILE: &str = "model.json";
+
+/// Options for `rpt serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// `--addr` (default `127.0.0.1:0`, kernel-assigned port).
+    pub addr: String,
+    /// `--max-batch` (default from `RPT_SERVE_MAX_BATCH`, else 8).
+    pub max_batch: Option<usize>,
+    /// `--steps` pretraining steps on the file itself.
+    pub steps: usize,
+    /// `--load` a pretrained checkpoint instead of training.
+    pub load: Option<String>,
+    /// `--checkpoint-dir` — watch `DIR/model.json` for hot-reload.
+    pub checkpoint_dir: Option<String>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: None,
+            steps: 400,
+            load: None,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// `rpt serve` — train (or load) a cleaning model over the file, then
+/// serve it over HTTP until killed. Prints `listening on ADDR` once the
+/// socket is bound, then blocks forever.
+pub fn cmd_serve(path: &str, opts: &ServeOptions) -> Result<String, CliError> {
+    let table = load_table(path)?;
+    let model = build_model(
+        &table,
+        &CleanOptions {
+            steps: opts.steps,
+            load: opts.load.clone(),
+            ..Default::default()
+        },
+    )?;
+    let (model, params) = model.into_serve_parts();
+    let mut cfg = rpt_serve::ServeConfig {
+        addr: opts.addr.clone(),
+        ..Default::default()
+    };
+    if let Some(max_batch) = opts.max_batch {
+        cfg.max_batch = max_batch.max(1);
+    }
+    if let Some(dir) = &opts.checkpoint_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Data(format!("cannot create checkpoint dir {dir}: {e}")))?;
+        cfg.checkpoint = Some(Path::new(dir).join(SERVE_MODEL_FILE));
+    }
+    let server = rpt_serve::Server::start(model, params, cfg)
+        .map_err(|e| CliError::Data(format!("cannot start server: {e}")))?;
+    println!("listening on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -305,6 +381,8 @@ pub enum Command {
     Detect(String, CleanOptionsSpec),
     /// `rpt match <csv> <csv> [--threshold T]`
     Match(String, String, f32),
+    /// `rpt serve <csv> [flags]`
+    Serve(String, ServeOptions),
     /// `rpt help`
     Help,
 }
@@ -352,6 +430,8 @@ USAGE:
   rpt detect  <file.csv> [--steps N] [--load MODEL] [--save MODEL]
                          [--checkpoint-dir DIR] [--resume STATE]
   rpt match   <a.csv> <b.csv> [--threshold T]
+  rpt serve   <file.csv> [--addr ADDR] [--max-batch N] [--steps N] [--load MODEL]
+                         [--checkpoint-dir DIR]
   rpt help
 
 Observability (any command):
@@ -534,6 +614,43 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Match(a, b, threshold))
         }
+        "serve" => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError::Usage("serve needs a file".into()))?
+                .clone();
+            let rest: Vec<String> = it.cloned().collect();
+            let mut opts = ServeOptions::default();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let value = rest
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+                match flag {
+                    "--addr" => opts.addr = value.clone(),
+                    "--max-batch" => {
+                        let n: usize = value
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad --max-batch {value}")))?;
+                        if n == 0 {
+                            return Err(CliError::Usage("--max-batch must be >= 1".into()));
+                        }
+                        opts.max_batch = Some(n);
+                    }
+                    "--steps" => {
+                        opts.steps = value
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad --steps {value}")))?
+                    }
+                    "--load" => opts.load = Some(value.clone()),
+                    "--checkpoint-dir" => opts.checkpoint_dir = Some(value.clone()),
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+                i += 2;
+            }
+            Ok(Command::Serve(path, opts))
+        }
         other => Err(CliError::Usage(format!("unknown command {other}"))),
     }
 }
@@ -548,6 +665,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Clean(path, spec) => cmd_clean(&path, &spec.into()),
         Command::Detect(path, spec) => cmd_detect(&path, &spec.into()),
         Command::Match(a, b, t) => cmd_match(&a, &b, t),
+        Command::Serve(path, opts) => cmd_serve(&path, &opts),
     }
 }
 
@@ -639,6 +757,60 @@ mod tests {
     fn parse_match_threshold() {
         let cmd = parse_args(&s(&["match", "a.csv", "b.csv", "--threshold", "0.8"])).unwrap();
         assert_eq!(cmd, Command::Match("a.csv".into(), "b.csv".into(), 0.8));
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        let cmd = parse_args(&s(&[
+            "serve",
+            "a.csv",
+            "--addr",
+            "0.0.0.0:8080",
+            "--max-batch",
+            "4",
+            "--steps",
+            "10",
+            "--load",
+            "m.json",
+            "--checkpoint-dir",
+            "ckpt",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(
+                "a.csv".into(),
+                ServeOptions {
+                    addr: "0.0.0.0:8080".into(),
+                    max_batch: Some(4),
+                    steps: 10,
+                    load: Some("m.json".into()),
+                    checkpoint_dir: Some("ckpt".into()),
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_errors() {
+        let cmd = parse_args(&s(&["serve", "a.csv"])).unwrap();
+        assert_eq!(cmd, Command::Serve("a.csv".into(), ServeOptions::default()));
+        assert!(matches!(
+            parse_args(&s(&["serve"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["serve", "a.csv", "--max-batch", "0"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["serve", "a.csv", "--addr"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["serve", "a.csv", "--bogus", "1"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

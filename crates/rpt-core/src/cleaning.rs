@@ -15,16 +15,14 @@
 
 use std::path::{Path, PathBuf};
 
-use rpt_rng::SmallRng;
+use rpt_nn::{beam_search, BeamConfig, Ctx, Seq2Seq, Sequence, TokenBatch, TransformerConfig};
 use rpt_rng::SliceRandom;
+use rpt_rng::SmallRng;
 use rpt_rng::{Rng, SeedableRng};
-use rpt_nn::{
-    beam_search, BeamConfig, Ctx, Seq2Seq, Sequence, TokenBatch, TransformerConfig,
-};
 use rpt_table::{Schema, Table, TableProfile, Tuple, Value};
-use rpt_tokenizer::{EncodedTuple, EncoderOptions, TupleEncoder, Vocab, BOS, EOS, PAD};
 use rpt_tensor::serialize::CheckpointError;
 use rpt_tensor::ParamStore;
+use rpt_tokenizer::{EncodedTuple, EncoderOptions, TupleEncoder, Vocab, BOS, EOS, PAD};
 
 use crate::train::{TrainOpts, Trainer, TRAIN_OBS, TRAIN_STATE_FILE};
 
@@ -182,6 +180,13 @@ impl RptC {
         &self.cfg
     }
 
+    /// Consumes the wrapper, yielding the owned seq2seq model and its
+    /// parameters — the pair an inference server needs to take over
+    /// (`rpt serve` hands these to `rpt_serve::Server::start`).
+    pub fn into_serve_parts(self) -> (Seq2Seq, ParamStore) {
+        (self.model, self.params)
+    }
+
     /// Builds one corrupted training pair from a tuple: the masked source
     /// sequence and the reconstruction target token ids. Returns `None`
     /// when the tuple offers nothing maskable.
@@ -222,16 +227,13 @@ impl RptC {
         if target.is_empty() || target.len() + 2 > self.cfg.model.max_len {
             return None;
         }
-        let target: Vec<usize> = target
-            .into_iter()
-            .take(self.cfg.max_fill_len)
-            .collect();
+        let target: Vec<usize> = target.into_iter().take(self.cfg.max_fill_len).collect();
         Some((
             Sequence {
                 ids: masked.ids,
                 cols: masked.cols,
                 segs: Vec::new(),
-            flags: Vec::new(),
+                flags: Vec::new(),
             },
             target,
         ))
@@ -334,8 +336,7 @@ impl RptC {
             let mut srcs = Vec::with_capacity(self.cfg.train.batch_size);
             let mut tgts = Vec::with_capacity(self.cfg.train.batch_size);
             let mut guard = 0;
-            while srcs.len() < self.cfg.train.batch_size && guard < self.cfg.train.batch_size * 20
-            {
+            while srcs.len() < self.cfg.train.batch_size && guard < self.cfg.train.batch_size * 20 {
                 guard += 1;
                 let &(ti, ri) = corpus.choose(&mut batch_rng).unwrap();
                 let schema = tables[ti].schema();
@@ -497,10 +498,13 @@ impl Filler for RptC {
                 len_penalty: 1.0,
             },
         );
-        let best = beams.into_iter().next().unwrap_or(rpt_nn::decode::Hypothesis {
-            tokens: Vec::new(),
-            score: f32::NEG_INFINITY,
-        });
+        let best = beams
+            .into_iter()
+            .next()
+            .unwrap_or(rpt_nn::decode::Hypothesis {
+                tokens: Vec::new(),
+                score: f32::NEG_INFINITY,
+            });
         FillResult {
             text: self.encoder.vocab().decode(&best.tokens),
             tokens: best.tokens,
@@ -637,11 +641,7 @@ mod tests {
             },
         );
         let mut rng = SmallRng::seed_from_u64(5);
-        let encoded_len = rptc
-            .encoder()
-            .encode_tuple(t.schema(), t.row(0))
-            .ids
-            .len();
+        let encoded_len = rptc.encoder().encode_tuple(t.schema(), t.row(0)).ids.len();
         let (src, tgt) = rptc
             .training_pair(t.schema(), t.row(0), None, &mut rng)
             .unwrap();

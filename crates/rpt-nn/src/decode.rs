@@ -8,8 +8,8 @@
 //! decoder pass over the whole prefix per step) for equivalence testing;
 //! both paths produce bit-identical logits, so token outputs match exactly.
 
-use rpt_rng::SmallRng;
 use rpt_rng::SeedableRng;
+use rpt_rng::SmallRng;
 use rpt_tensor::{ParamStore, Tape};
 
 use crate::batch::{Sequence, TokenBatch};
@@ -47,7 +47,7 @@ pub struct Hypothesis {
     pub score: f32,
 }
 
-fn finish(prefix: &[usize], logp: f32, cfg: &BeamConfig) -> Hypothesis {
+pub(crate) fn finish(prefix: &[usize], logp: f32, cfg: &BeamConfig) -> Hypothesis {
     let len = (prefix.len() - 1).max(1) as f32;
     Hypothesis {
         tokens: prefix[1..].to_vec(),
@@ -197,12 +197,53 @@ pub fn beam_search(
     done
 }
 
+/// Teacher-forced scoring of a fixed target sequence on the KV-cached fast
+/// path: feeds `[bos, targets…]` one token at a time and accumulates the
+/// log-probability of each target token plus the closing `eos`. Returns
+/// `(total_logprob, per_token_logprobs)`; scoring stops early if the
+/// forced prefix reaches `max_len`. This is the single-request oracle for
+/// the fused decoder's `Forced` jobs (the `/v1/match` cross-reconstruction
+/// score).
+pub fn forced_score(
+    model: &Seq2Seq,
+    params: &mut ParamStore,
+    src: &TokenBatch,
+    bos: usize,
+    eos: usize,
+    targets: &[usize],
+) -> (f32, Vec<f32>) {
+    assert_eq!(src.b, 1, "forced_score expects a single source");
+    let mut state = model.begin_decode(params, src);
+    let mut prefix = vec![bos];
+    let mut per_token = Vec::with_capacity(targets.len() + 1);
+    let mut total = 0.0f32;
+    let goals: Vec<usize> = targets
+        .iter()
+        .copied()
+        .chain(std::iter::once(eos))
+        .collect();
+    for &goal in &goals {
+        let logits = model.decode_step(params, &mut state, &[*prefix.last().unwrap()]);
+        let lp = log_softmax_row(logits.data());
+        per_token.push(lp[goal]);
+        total += lp[goal];
+        prefix.push(goal);
+        if prefix.len() >= model.config().max_len {
+            break;
+        }
+    }
+    (total, per_token)
+}
+
 /// The top-`width` next tokens of one log-prob row, best first (stable in
 /// token order on ties — the exact ordering the reference path produces).
-fn top_candidates(lp: &[f32], width: usize) -> Vec<(usize, f32)> {
+pub(crate) fn top_candidates(lp: &[f32], width: usize) -> Vec<(usize, f32)> {
     let mut idx: Vec<usize> = (0..lp.len()).collect();
     idx.sort_by(|&a, &b| lp[b].total_cmp(&lp[a]));
-    idx.into_iter().take(width).map(|tok| (tok, lp[tok])).collect()
+    idx.into_iter()
+        .take(width)
+        .map(|tok| (tok, lp[tok]))
+        .collect()
 }
 
 /// Next-token log-probabilities for the reference path: rebuilds the full
@@ -344,7 +385,10 @@ mod tests {
         ];
         let mut rng2 = SmallRng::seed_from_u64(1);
         for _ in 0..150 {
-            let srcs: Vec<Sequence> = examples.iter().map(|e| Sequence::from_ids(e.clone())).collect();
+            let srcs: Vec<Sequence> = examples
+                .iter()
+                .map(|e| Sequence::from_ids(e.clone()))
+                .collect();
             let src = TokenBatch::from_sequences(&srcs, 16, 0);
             let tgt_in: Vec<Sequence> = examples
                 .iter()

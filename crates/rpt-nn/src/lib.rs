@@ -27,6 +27,7 @@ pub mod classifier;
 pub mod decode;
 pub mod metrics;
 pub mod module;
+pub mod multidecode;
 pub(crate) mod obs;
 pub mod schedule;
 pub mod seq2seq;
@@ -36,10 +37,11 @@ pub use attention::MultiHeadAttention;
 pub use batch::{Sequence, TokenBatch};
 pub use classifier::{EncoderClassifier, SpanExtractor};
 pub use decode::{
-    beam_search, beam_search_reference, greedy_decode, greedy_decode_reference, BeamConfig,
-    Hypothesis,
+    beam_search, beam_search_reference, forced_score, greedy_decode, greedy_decode_reference,
+    BeamConfig, Hypothesis,
 };
 pub use module::{Ctx, Embedding, LayerNorm, Linear};
+pub use multidecode::{JobOutput, JobSpec, MicroBatcher};
 pub use schedule::NoamSchedule;
 pub use seq2seq::{
     make_denoising_shards, DenoisingShard, IncrementalState, Seq2Seq, TransformerConfig,

@@ -13,6 +13,12 @@ pub(crate) struct DecodeObs {
     pub step_ms: rpt_obs::Histogram,
     pub call_ms: rpt_obs::Histogram,
     pub tokens_per_sec: rpt_obs::Gauge,
+    /// Fused multi-request steps taken by the micro-batcher.
+    pub fused_steps: rpt_obs::Counter,
+    /// Total decoder rows advanced across fused steps (occupancy numerator).
+    pub fused_rows: rpt_obs::Counter,
+    /// Leading fully-masked cache positions trimmed by slot compaction.
+    pub cache_compactions: rpt_obs::Counter,
 }
 
 pub(crate) static DECODE_OBS: LazyLock<DecodeObs> = LazyLock::new(|| DecodeObs {
@@ -24,4 +30,7 @@ pub(crate) static DECODE_OBS: LazyLock<DecodeObs> = LazyLock::new(|| DecodeObs {
     step_ms: rpt_obs::histogram("decode.step_ms"),
     call_ms: rpt_obs::histogram("decode.call_ms"),
     tokens_per_sec: rpt_obs::gauge("decode.tokens_per_sec"),
+    fused_steps: rpt_obs::counter("decode.fused_steps"),
+    fused_rows: rpt_obs::counter("decode.fused_rows"),
+    cache_compactions: rpt_obs::counter("decode.cache_compactions"),
 });

@@ -243,19 +243,8 @@ impl Seq2Seq {
     /// `src.b` must be 1 (one source per decode call); the hypothesis batch
     /// grows via [`IncrementalState::select_beams`].
     pub fn begin_decode(&self, params: &mut ParamStore, src: &TokenBatch) -> IncrementalState {
-        assert_eq!(src.b, 1, "begin_decode expects a single source, got b={}", src.b);
-        crate::obs::DECODE_OBS.calls.inc();
-        let tape = Tape::inference();
-        let mut rng = SmallRng::seed_from_u64(0);
-        let mut ctx = Ctx::new(&tape, params, &mut rng, false);
-        let enc = self.encode(&mut ctx, src);
-        let layers = self.decoder.begin_cache(&mut ctx, enc);
-        let e = ctx.p(self.tok_emb.weight());
-        let et_var = ctx.tape.transpose_last(e); // [d, v]
-        let et = ctx.tape.value(et_var);
-        let cross_mask_row = (0..src.t)
-            .map(|i| if src.valid[i] { 0.0 } else { NEG_INF })
-            .collect();
+        let (layers, cross_mask_row) = self.begin_request(params, src);
+        let et = self.tied_projection(params);
         IncrementalState {
             layers,
             et,
@@ -265,6 +254,45 @@ impl Seq2Seq {
             width: 1,
             n_heads: self.cfg.n_heads,
         }
+    }
+
+    /// Encodes one source (`src.b == 1`) and builds its per-layer KV caches
+    /// and additive cross-attention mask row (`0.0` for valid source keys,
+    /// `NEG_INF` for padding) — the per-request half of [`Self::begin_decode`],
+    /// exposed so the fused multi-request decoder can pool cache slots from
+    /// many independent requests.
+    pub fn begin_request(
+        &self,
+        params: &mut ParamStore,
+        src: &TokenBatch,
+    ) -> (Vec<LayerKv>, Vec<f32>) {
+        assert_eq!(
+            src.b, 1,
+            "begin_request expects a single source, got b={}",
+            src.b
+        );
+        crate::obs::DECODE_OBS.calls.inc();
+        let tape = Tape::inference();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut ctx = Ctx::new(&tape, params, &mut rng, false);
+        let enc = self.encode(&mut ctx, src);
+        let layers = self.decoder.begin_cache(&mut ctx, enc);
+        let cross_mask_row = (0..src.t)
+            .map(|i| if src.valid[i] { 0.0 } else { NEG_INF })
+            .collect();
+        (layers, cross_mask_row)
+    }
+
+    /// Materializes the tied output projection `Eᵀ` (`[d, vocab]`). Shared
+    /// by every request decoded against the same parameters, so callers
+    /// that batch requests compute it once.
+    pub fn tied_projection(&self, params: &mut ParamStore) -> Tensor {
+        let tape = Tape::inference();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut ctx = Ctx::new(&tape, params, &mut rng, false);
+        let e = ctx.p(self.tok_emb.weight());
+        let et_var = ctx.tape.transpose_last(e); // [d, v]
+        ctx.tape.value(et_var)
     }
 
     /// One incremental decode step. `tokens` holds the newest token of each
@@ -284,6 +312,45 @@ impl Seq2Seq {
             state.width,
             "decode_step expects one token per hypothesis"
         );
+        let b = tokens.len();
+        let pos_id = state.pos.min(self.cfg.max_len - 1);
+        let positions = vec![pos_id; b];
+        let cross_mask = state.cross_mask();
+        let et = state.et.clone();
+        let out = self.decode_step_rows(
+            params,
+            &mut state.layers,
+            tokens,
+            &positions,
+            None,
+            &cross_mask,
+            &et,
+        );
+        state.pos += 1;
+        out
+    }
+
+    /// One incremental decode step over an arbitrary row batch: row `i`
+    /// embeds `tokens[i]` at `positions[i]`, advances through the decoder
+    /// against `layers` (whose `[rows*h, ·, dh]` caches it appends to), and
+    /// projects through `et`. This is [`Self::decode_step`] generalized to
+    /// rows that belong to *different* requests — per-row positions, an
+    /// optional self-attention mask (hiding fused-cache positions that
+    /// predate a request's admission), and a per-row cross mask. Every
+    /// per-row computation is identical to the single-request path, so the
+    /// returned `[rows, vocab]` logits are bit-identical row for row.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decode_step_rows(
+        &self,
+        params: &mut ParamStore,
+        layers: &mut [LayerKv],
+        tokens: &[usize],
+        positions: &[usize],
+        self_mask: Option<&Tensor>,
+        cross_mask: &Tensor,
+        et: &Tensor,
+    ) -> Tensor {
+        assert_eq!(tokens.len(), positions.len(), "one position per row token");
         let obs = &*crate::obs::DECODE_OBS;
         let _t = rpt_obs::span("decode.step", &obs.step_ms);
         obs.steps.inc();
@@ -291,19 +358,16 @@ impl Seq2Seq {
         let tape = Tape::inference();
         let mut rng = SmallRng::seed_from_u64(0);
         let mut ctx = Ctx::new(&tape, params, &mut rng, false);
-        let pos_id = state.pos.min(self.cfg.max_len - 1);
         let tok = self.tok_emb.forward_batch(&mut ctx, tokens, b, 1);
-        let pos = self.pos_emb.forward_batch(&mut ctx, &vec![pos_id; b], b, 1);
+        let pos = self.pos_emb.forward_batch(&mut ctx, positions, b, 1);
         let x = ctx.tape.add(tok, pos);
         let x = ctx.dropout(x, self.cfg.dropout);
-        let cross_mask = state.cross_mask();
         let h = self
             .decoder
-            .forward_step(&mut ctx, x, &mut state.layers, Some(&cross_mask));
+            .forward_step(&mut ctx, x, layers, self_mask, Some(cross_mask));
         let flat = ctx.tape.reshape(h, &[b, self.cfg.d_model]);
-        let et = ctx.tape.constant(state.et.clone());
+        let et = ctx.tape.constant(et.clone());
         let logits = ctx.tape.matmul(flat, et);
-        state.pos += 1;
         ctx.tape.value(logits)
     }
 }
@@ -432,8 +496,7 @@ pub fn make_denoising_shards(
         .enumerate()
         .map(|(i, (s, t))| {
             let src = TokenBatch::from_sequences(s, max_len, pad_id);
-            let (tgt_in, tgt_out) =
-                TokenBatch::teacher_forcing(t, max_len, pad_id, bos_id, eos_id);
+            let (tgt_in, tgt_out) = TokenBatch::teacher_forcing(t, max_len, pad_id, bos_id, eos_id);
             let weight = tgt_out.iter().filter(|&&tok| tok != pad_id).count();
             DenoisingShard {
                 src,
@@ -450,8 +513,8 @@ pub fn make_denoising_shards(
 mod tests {
     use super::*;
     use crate::batch::Sequence;
-    use rpt_rng::SmallRng;
     use rpt_rng::SeedableRng;
+    use rpt_rng::SmallRng;
     use rpt_tensor::{clip_global_norm, Adam, AdamConfig, Tape};
 
     fn toy_batches() -> (TokenBatch, TokenBatch, Vec<usize>) {
@@ -582,11 +645,8 @@ mod tests {
         let mut cfg = TransformerConfig::tiny(12);
         cfg.max_len = 4;
         let model = Seq2Seq::new(&mut params, cfg, &mut rng);
-        let src = TokenBatch::from_sequences(
-            &[Sequence::from_ids(vec![9, 10, 11, 9, 10, 11])],
-            32,
-            0,
-        );
+        let src =
+            TokenBatch::from_sequences(&[Sequence::from_ids(vec![9, 10, 11, 9, 10, 11])], 32, 0);
         let tape = Tape::new();
         let mut rng2 = SmallRng::seed_from_u64(1);
         let mut ctx = Ctx::new(&tape, &mut params, &mut rng2, false);

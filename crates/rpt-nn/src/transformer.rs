@@ -241,16 +241,20 @@ impl DecoderLayer {
     /// self-attention K/V to `cache` and attends over the full cached
     /// prefix.
     ///
-    /// No self-attention mask is needed: every cached key is a real,
-    /// strictly-earlier token, so causality holds by construction. The
-    /// reference path adds `0.0` at exactly these positions, which only
-    /// flips `-0.0` scores to `+0.0` — a difference softmax erases — so the
-    /// output stays bit-identical to [`Self::forward`].
+    /// For a single request no self-attention mask is needed (`self_mask`
+    /// = `None`): every cached key is a real, strictly-earlier token, so
+    /// causality holds by construction. The reference path adds `0.0` at
+    /// exactly these positions, which only flips `-0.0` scores to `+0.0` —
+    /// a difference softmax erases — so the output stays bit-identical to
+    /// [`Self::forward`]. The fused multi-request decoder passes a mask
+    /// hiding the zero "lead-pad" keys of requests that joined the batch
+    /// after other requests had already cached earlier positions.
     pub fn forward_step(
         &self,
         ctx: &mut Ctx<'_>,
         x: Var,
         cache: &mut LayerKv,
+        self_mask: Option<&Tensor>,
         cross_mask: Option<&Tensor>,
     ) -> Var {
         let n1 = self.ln1.forward(ctx, x);
@@ -260,14 +264,14 @@ impl DecoderLayer {
             cache.self_k.clone().expect("append_self just ran"),
             cache.self_v.clone().expect("append_self just ran"),
         );
-        let a = self.self_attn.attend_cached(ctx, n1, &sk, &sv, None);
+        let a = self.self_attn.attend_cached(ctx, n1, &sk, &sv, self_mask);
         let a = ctx.dropout(a, self.dropout);
         let x = ctx.tape.add(x, a);
 
         let n2 = self.ln2.forward(ctx, x);
-        let c = self
-            .cross_attn
-            .attend_cached_kt(ctx, n2, &cache.cross_kt, &cache.cross_v, cross_mask);
+        let c =
+            self.cross_attn
+                .attend_cached_kt(ctx, n2, &cache.cross_kt, &cache.cross_v, cross_mask);
         let c = ctx.dropout(c, self.dropout);
         let x = ctx.tape.add(x, c);
 
@@ -398,6 +402,7 @@ impl Decoder {
         ctx: &mut Ctx<'_>,
         mut x: Var,
         caches: &mut [LayerKv],
+        self_mask: Option<&Tensor>,
         cross_mask: Option<&Tensor>,
     ) -> Var {
         assert_eq!(
@@ -406,7 +411,7 @@ impl Decoder {
             "one KV cache per decoder layer"
         );
         for (layer, cache) in self.layers.iter().zip(caches.iter_mut()) {
-            x = layer.forward_step(ctx, x, cache, cross_mask);
+            x = layer.forward_step(ctx, x, cache, self_mask, cross_mask);
         }
         self.final_ln.forward(ctx, x)
     }
@@ -415,8 +420,8 @@ impl Decoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rpt_rng::SmallRng;
     use rpt_rng::SeedableRng;
+    use rpt_rng::SmallRng;
     use rpt_tensor::{init, Tape};
 
     #[test]
@@ -427,7 +432,11 @@ mod tests {
         let tape = Tape::new();
         let mut rng2 = SmallRng::seed_from_u64(1);
         let mut ctx = Ctx::new(&tape, &mut params, &mut rng2, false);
-        let x = ctx.tape.leaf(init::normal(&[2, 5, 8], 1.0, &mut SmallRng::seed_from_u64(2)));
+        let x = ctx.tape.leaf(init::normal(
+            &[2, 5, 8],
+            1.0,
+            &mut SmallRng::seed_from_u64(2),
+        ));
         let y = enc.forward(&mut ctx, x, None);
         let yv = ctx.tape.value(y);
         assert_eq!(yv.shape(), &[2, 5, 8]);
@@ -444,9 +453,11 @@ mod tests {
             let tape = Tape::new();
             let mut rng2 = SmallRng::seed_from_u64(1);
             let mut ctx = Ctx::new(&tape, params, &mut rng2, false);
-            let enc_out = ctx
-                .tape
-                .leaf(init::normal(&[1, 4, 8], 1.0, &mut SmallRng::seed_from_u64(7)));
+            let enc_out = ctx.tape.leaf(init::normal(
+                &[1, 4, 8],
+                1.0,
+                &mut SmallRng::seed_from_u64(7),
+            ));
             let x = ctx.tape.leaf(tgt);
             let batch = crate::batch::TokenBatch::from_sequences(
                 &[crate::batch::Sequence::from_ids(vec![1, 1, 1])],
@@ -489,7 +500,11 @@ mod tests {
         let tape = Tape::new();
         let mut rng2 = SmallRng::seed_from_u64(1);
         let mut ctx = Ctx::new(&tape, &mut params, &mut rng2, true);
-        let x = ctx.tape.leaf(init::normal(&[1, 4, 8], 1.0, &mut SmallRng::seed_from_u64(2)));
+        let x = ctx.tape.leaf(init::normal(
+            &[1, 4, 8],
+            1.0,
+            &mut SmallRng::seed_from_u64(2),
+        ));
         let y = enc.forward(&mut ctx, x, None);
         let loss = ctx.tape.sum_all(ctx.tape.mul(y, y));
         let mut grads = tape.backward(loss);

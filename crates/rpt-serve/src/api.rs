@@ -1,0 +1,351 @@
+//! The JSON API: request bodies → [`JobSpec`], [`JobOutput`] → response
+//! bodies, plus validation against the served model's shape.
+//!
+//! All three decode endpoints speak token ids, not text — the tokenizer
+//! is a client-side concern (`rpt_tokenizer` is deterministic, so both
+//! sides agree), and ids keep the bit-identity contract auditable: the
+//! bytes on the wire are exactly the ids/scores the decode loops produce.
+//! Scores are `f32` widened to `f64` for JSON; Rust's shortest-round-trip
+//! float formatting makes the narrowing on the far side bit-exact.
+
+use rpt_json::Json;
+use rpt_nn::{BeamConfig, JobOutput, JobSpec, Sequence, TokenBatch, TransformerConfig};
+
+/// Token ids reserved by every workspace vocabulary.
+pub const PAD: usize = 0;
+/// Beginning-of-sequence id.
+pub const BOS: usize = 1;
+/// End-of-sequence id.
+pub const EOS: usize = 2;
+
+/// A validation failure, reported as a 400 with a typed body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// Machine-readable code (`invalid_request`, `bad_json`).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    fn invalid(message: impl Into<String>) -> Self {
+        Self {
+            code: "invalid_request",
+            message: message.into(),
+        }
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, ApiError> {
+    let text = std::str::from_utf8(body).map_err(|_| ApiError {
+        code: "bad_json",
+        message: "body is not valid UTF-8".to_string(),
+    })?;
+    Json::parse(text).map_err(|e| ApiError {
+        code: "bad_json",
+        message: format!("body is not valid JSON: {e}"),
+    })
+}
+
+fn id_list(doc: &Json, key: &str, required: bool) -> Result<Option<Vec<usize>>, ApiError> {
+    match doc.get(key) {
+        None | Some(Json::Null) => {
+            if required {
+                Err(ApiError::invalid(format!("missing required field {key:?}")))
+            } else {
+                Ok(None)
+            }
+        }
+        Some(Json::Array(items)) => {
+            let mut ids = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let id = item.as_u64().ok_or_else(|| {
+                    ApiError::invalid(format!("{key}[{i}] must be a non-negative integer"))
+                })?;
+                ids.push(id as usize);
+            }
+            Ok(Some(ids))
+        }
+        Some(_) => Err(ApiError::invalid(format!("{key} must be an array of ids"))),
+    }
+}
+
+fn usize_field(doc: &Json, key: &str) -> Result<Option<usize>, ApiError> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(|n| Some(n as usize))
+            .ok_or_else(|| ApiError::invalid(format!("{key} must be a non-negative integer"))),
+    }
+}
+
+/// Validates `src`/`cols` against the model and builds the source batch.
+fn source_batch(doc: &Json, cfg: &TransformerConfig) -> Result<TokenBatch, ApiError> {
+    let src = id_list(doc, "src", true)?.expect("required");
+    if src.is_empty() {
+        return Err(ApiError::invalid("src must not be empty"));
+    }
+    if src.len() > cfg.max_len {
+        return Err(ApiError::invalid(format!(
+            "src has {} tokens; the model accepts at most {}",
+            src.len(),
+            cfg.max_len
+        )));
+    }
+    if let Some(&bad) = src.iter().find(|&&id| id >= cfg.vocab_size) {
+        return Err(ApiError::invalid(format!(
+            "src id {bad} is outside the vocabulary (size {})",
+            cfg.vocab_size
+        )));
+    }
+    let cols = id_list(doc, "cols", false)?;
+    let mut seq = Sequence::from_ids(src);
+    if let Some(cols) = cols {
+        if cfg.max_cols == 0 {
+            return Err(ApiError::invalid("this model has no column embeddings"));
+        }
+        if cols.len() != seq.ids.len() {
+            return Err(ApiError::invalid("cols must have the same length as src"));
+        }
+        if let Some(&bad) = cols.iter().find(|&&c| c >= cfg.max_cols) {
+            return Err(ApiError::invalid(format!(
+                "col id {bad} is outside the column table (size {})",
+                cfg.max_cols
+            )));
+        }
+        seq.cols = cols;
+    }
+    Ok(TokenBatch::from_sequences(&[seq], cfg.max_len, PAD))
+}
+
+/// Parses a `POST /v1/clean` body into a decode job.
+///
+/// Fields: `src` (required), `cols`, `mode` (`"greedy"` default |
+/// `"beam"`), `max_steps`, and for beam `beam_width` / `len_penalty`.
+pub fn parse_clean(body: &[u8], cfg: &TransformerConfig) -> Result<JobSpec, ApiError> {
+    let doc = parse_body(body)?;
+    let src = source_batch(&doc, cfg)?;
+    let max_steps = usize_field(&doc, "max_steps")?
+        .unwrap_or(cfg.max_len)
+        .min(cfg.max_len);
+    match doc.get("mode").and_then(Json::as_str).unwrap_or("greedy") {
+        "greedy" => Ok(JobSpec::Greedy {
+            src,
+            bos: BOS,
+            eos: EOS,
+            max_steps,
+        }),
+        "beam" => {
+            let width = usize_field(&doc, "beam_width")?.unwrap_or(4);
+            if width == 0 || width > 16 {
+                return Err(ApiError::invalid("beam_width must be in 1..=16"));
+            }
+            let len_penalty = match doc.get("len_penalty") {
+                None | Some(Json::Null) => 1.0,
+                Some(v) => v
+                    .as_f64()
+                    .ok_or_else(|| ApiError::invalid("len_penalty must be a number"))?
+                    as f32,
+            };
+            Ok(JobSpec::Beam {
+                src,
+                bos: BOS,
+                eos: EOS,
+                cfg: BeamConfig {
+                    width,
+                    max_steps,
+                    len_penalty,
+                },
+            })
+        }
+        other => Err(ApiError::invalid(format!(
+            "mode must be \"greedy\" or \"beam\", got {other:?}"
+        ))),
+    }
+}
+
+/// Parses a `POST /v1/detect` body: teacher-forces the row's own tokens
+/// and returns per-token log-probabilities (low = suspicious cell).
+///
+/// Fields: `src` (required), `cols`.
+pub fn parse_detect(body: &[u8], cfg: &TransformerConfig) -> Result<JobSpec, ApiError> {
+    let doc = parse_body(body)?;
+    let src = source_batch(&doc, cfg)?;
+    let targets: Vec<usize> = (0..src.row_len(0)).map(|i| src.ids[i]).collect();
+    if targets.len() + 2 > cfg.max_len {
+        return Err(ApiError::invalid(format!(
+            "src has {} tokens; detect scores at most {} (BOS/EOS overhead)",
+            targets.len(),
+            cfg.max_len - 2
+        )));
+    }
+    Ok(JobSpec::Forced {
+        src,
+        bos: BOS,
+        eos: EOS,
+        targets,
+    })
+}
+
+/// Parses a `POST /v1/match` body: scores `targets` given `src` (entity
+/// resolution as sequence likelihood).
+///
+/// Fields: `src` (required), `targets` (required), `cols`.
+pub fn parse_match(body: &[u8], cfg: &TransformerConfig) -> Result<JobSpec, ApiError> {
+    let doc = parse_body(body)?;
+    let src = source_batch(&doc, cfg)?;
+    let targets = id_list(&doc, "targets", true)?.expect("required");
+    if let Some(&bad) = targets.iter().find(|&&id| id >= cfg.vocab_size) {
+        return Err(ApiError::invalid(format!(
+            "target id {bad} is outside the vocabulary (size {})",
+            cfg.vocab_size
+        )));
+    }
+    if targets.len() + 2 > cfg.max_len {
+        return Err(ApiError::invalid(format!(
+            "targets has {} tokens; the model scores at most {}",
+            targets.len(),
+            cfg.max_len - 2
+        )));
+    }
+    Ok(JobSpec::Forced {
+        src,
+        bos: BOS,
+        eos: EOS,
+        targets,
+    })
+}
+
+/// Renders a finished job as a response body, tagged with the parameter
+/// generation that served it.
+pub fn render_output(out: &JobOutput, generation: u64) -> String {
+    let doc = match out {
+        JobOutput::Greedy { tokens } => rpt_json::json!({
+            "mode": "greedy",
+            "tokens": tokens.iter().map(|&t| Json::from(t as u64)).collect::<Vec<_>>(),
+            "model_generation": generation,
+        }),
+        JobOutput::Beam { hypotheses } => rpt_json::json!({
+            "mode": "beam",
+            "hypotheses": hypotheses
+                .iter()
+                .map(|h| rpt_json::json!({
+                    "tokens": h.tokens.iter().map(|&t| Json::from(t as u64)).collect::<Vec<_>>(),
+                    "score": h.score as f64,
+                }))
+                .collect::<Vec<_>>(),
+            "model_generation": generation,
+        }),
+        JobOutput::Forced {
+            total_logprob,
+            per_token,
+        } => rpt_json::json!({
+            "total_logprob": *total_logprob as f64,
+            "per_token": per_token.iter().map(|&l| Json::from(l as f64)).collect::<Vec<_>>(),
+            "model_generation": generation,
+        }),
+    };
+    doc.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TransformerConfig {
+        TransformerConfig::tiny(32)
+    }
+
+    #[test]
+    fn clean_defaults_to_greedy_with_model_budget() {
+        let spec = parse_clean(br#"{"src": [9, 10]}"#, &cfg()).unwrap();
+        match spec {
+            JobSpec::Greedy {
+                src,
+                bos,
+                eos,
+                max_steps,
+            } => {
+                assert_eq!(src.b, 1);
+                assert_eq!(src.row_len(0), 2);
+                assert_eq!((bos, eos), (BOS, EOS));
+                assert_eq!(max_steps, cfg().max_len);
+            }
+            other => panic!("expected greedy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_beam_mode_reads_width_and_penalty() {
+        let spec = parse_clean(
+            br#"{"src": [9], "mode": "beam", "beam_width": 2, "max_steps": 5, "len_penalty": 0.5}"#,
+            &cfg(),
+        )
+        .unwrap();
+        match spec {
+            JobSpec::Beam { cfg: bc, .. } => {
+                assert_eq!(bc.width, 2);
+                assert_eq!(bc.max_steps, 5);
+                assert_eq!(bc.len_penalty, 0.5);
+            }
+            other => panic!("expected beam, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_bodies() {
+        let c = cfg();
+        for (body, needle) in [
+            (&b"not json"[..], "bad_json"),
+            (br#"{"src": []}"#, "empty"),
+            (br#"{"src": [999]}"#, "vocabulary"),
+            (br#"{"src": [9], "mode": "magic"}"#, "mode"),
+            (br#"{"src": [9], "cols": [1, 2]}"#, "same length"),
+            (
+                br#"{"src": [9], "mode": "beam", "beam_width": 0}"#,
+                "beam_width",
+            ),
+            (br#"{"src": "nope"}"#, "array"),
+        ] {
+            let err = parse_clean(body, &c).expect_err("should reject");
+            let text = format!("{} {}", err.code, err.message);
+            assert!(text.contains(needle), "{text:?} lacks {needle:?}");
+        }
+    }
+
+    #[test]
+    fn detect_forces_the_source_row() {
+        let spec = parse_detect(br#"{"src": [9, 10, 11]}"#, &cfg()).unwrap();
+        match spec {
+            JobSpec::Forced { targets, .. } => assert_eq!(targets, vec![9, 10, 11]),
+            other => panic!("expected forced, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn match_requires_targets() {
+        assert!(parse_match(br#"{"src": [9]}"#, &cfg()).is_err());
+        let spec = parse_match(br#"{"src": [9], "targets": [10, 11]}"#, &cfg()).unwrap();
+        match spec {
+            JobSpec::Forced { targets, .. } => assert_eq!(targets, vec![10, 11]),
+            other => panic!("expected forced, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scores_round_trip_bit_exactly_through_json() {
+        let score = -1.234_567_9_f32;
+        let body = render_output(
+            &JobOutput::Forced {
+                total_logprob: score,
+                per_token: vec![score],
+            },
+            3,
+        );
+        let doc = Json::parse(&body).unwrap();
+        let back = doc.get("total_logprob").unwrap().as_f64().unwrap() as f32;
+        assert_eq!(back.to_bits(), score.to_bits());
+        assert_eq!(doc.get("model_generation").unwrap().as_u64(), Some(3));
+    }
+}

@@ -1,0 +1,198 @@
+//! The micro-batching loop: a bounded queue of decode jobs feeding one
+//! batcher thread that advances every admitted request through fused
+//! [`rpt_nn::MicroBatcher`] steps, with drain-then-swap checkpoint
+//! hot-reload between batches.
+//!
+//! ## Hot reload
+//!
+//! The checkpoint file (PR-4 atomic-rename format) is stat-ed between
+//! batches; a changed `(mtime, len)` pair marks a reload as pending. The
+//! batcher then stops admitting (so in-flight requests finish on the old
+//! parameters — the drain), and once idle loads the file into a clone of
+//! the live [`ParamStore`]. A torn or invalid file fails validation in
+//! `load_file`, increments `serve.reload_errors`, and leaves the old
+//! parameters serving; the attempt is not retried until the stat changes
+//! again. On success the clone is swapped in, the tied projection is
+//! rebuilt, and `serve.model_generation` increments.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime};
+
+use rpt_nn::{JobOutput, JobSpec, MicroBatcher, Seq2Seq};
+use rpt_tensor::serialize::load_file;
+use rpt_tensor::ParamStore;
+
+use crate::obs::SERVE_OBS;
+
+/// One queued decode request: the job plus the channel its result goes
+/// back on, tagged with the parameter generation that served it.
+pub(crate) struct Job {
+    pub spec: JobSpec,
+    pub resp: SyncSender<(u64, JobOutput)>,
+}
+
+/// State shared between connection handlers and the batcher thread.
+pub(crate) struct BatcherShared {
+    /// Jobs currently sitting in the bounded queue.
+    pub queue_depth: AtomicUsize,
+    /// Parameter generation currently serving (for `/healthz`).
+    pub generation: AtomicU64,
+    /// Server-wide shutdown flag.
+    pub shutdown: AtomicBool,
+}
+
+pub(crate) struct Batcher {
+    model: Seq2Seq,
+    params: ParamStore,
+    mb: MicroBatcher,
+    rx: Receiver<Job>,
+    /// Result channel per admitted job id.
+    pending: Vec<(u64, SyncSender<(u64, JobOutput)>)>,
+    next_id: u64,
+    max_batch: usize,
+    checkpoint: Option<PathBuf>,
+    seen_stat: Option<(SystemTime, u64)>,
+    reload_pending: bool,
+    poll: Duration,
+    shared: Arc<BatcherShared>,
+}
+
+impl Batcher {
+    pub fn new(
+        model: Seq2Seq,
+        mut params: ParamStore,
+        rx: Receiver<Job>,
+        max_batch: usize,
+        checkpoint: Option<PathBuf>,
+        poll: Duration,
+        shared: Arc<BatcherShared>,
+    ) -> Self {
+        let mb = MicroBatcher::new(&model, &mut params);
+        let seen_stat = checkpoint.as_deref().and_then(stat);
+        SERVE_OBS.model_generation.set(0.0);
+        Self {
+            model,
+            params,
+            mb,
+            rx,
+            pending: Vec::new(),
+            next_id: 0,
+            max_batch,
+            checkpoint,
+            seen_stat,
+            reload_pending: false,
+            poll,
+            shared,
+        }
+    }
+
+    /// Runs until every producer handle is dropped and all admitted work
+    /// has drained.
+    pub fn run(mut self) {
+        loop {
+            let disconnected = self.admit_available();
+            if self.mb.is_idle() {
+                if self.reload_pending {
+                    self.reload();
+                }
+                if disconnected {
+                    return;
+                }
+                match self.rx.recv_timeout(self.poll) {
+                    Ok(job) => self.admit(job),
+                    Err(RecvTimeoutError::Timeout) => self.check_stat(),
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+                continue;
+            }
+            self.check_stat();
+            self.step();
+        }
+    }
+
+    /// Admits queued jobs up to the batch cap (none while draining for a
+    /// reload). Returns true when all producers are gone.
+    fn admit_available(&mut self) -> bool {
+        while !self.reload_pending && self.mb.slots_in_use() < self.max_batch {
+            match self.rx.try_recv() {
+                Ok(job) => self.admit(job),
+                Err(TryRecvError::Empty) => return false,
+                Err(TryRecvError::Disconnected) => return true,
+            }
+        }
+        false
+    }
+
+    fn admit(&mut self, job: Job) {
+        let depth = self.shared.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        SERVE_OBS.queue_depth.set(depth as f64);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.mb.admit(&self.model, &mut self.params, id, job.spec);
+        self.pending.push((id, job.resp));
+        SERVE_OBS.kv_slots_in_use.set(self.mb.slots_in_use() as f64);
+    }
+
+    fn step(&mut self) {
+        SERVE_OBS.batch_steps.inc();
+        SERVE_OBS
+            .batch_occupancy
+            .record(self.mb.slots_in_use() as f64);
+        SERVE_OBS.tokens.add(self.mb.rows() as u64);
+        let finished = self.mb.step(&self.model, &mut self.params);
+        let generation = self.shared.generation.load(Ordering::Relaxed);
+        for (id, out) in finished {
+            if let Some(at) = self.pending.iter().position(|(pid, _)| *pid == id) {
+                let (_, resp) = self.pending.swap_remove(at);
+                // A handler that gave up (client vanished) just drops the
+                // receiver; the send error is fine to ignore.
+                let _ = resp.try_send((generation, out));
+            }
+        }
+        SERVE_OBS.kv_slots_in_use.set(self.mb.slots_in_use() as f64);
+    }
+
+    /// Marks a reload pending when the checkpoint's `(mtime, len)` moved.
+    fn check_stat(&mut self) {
+        let Some(path) = self.checkpoint.as_deref() else {
+            return;
+        };
+        let now = stat(path);
+        if now.is_some() && now != self.seen_stat {
+            self.seen_stat = now;
+            self.reload_pending = true;
+        }
+    }
+
+    /// Attempts the pending reload (caller guarantees the batcher is
+    /// idle, so no request ever spans two parameter sets).
+    fn reload(&mut self) {
+        self.reload_pending = false;
+        let Some(path) = self.checkpoint.as_deref() else {
+            return;
+        };
+        let mut candidate = self.params.clone();
+        match load_file(&mut candidate, path) {
+            Ok(()) => {
+                self.params = candidate;
+                self.mb = MicroBatcher::new(&self.model, &mut self.params);
+                let generation = self.shared.generation.fetch_add(1, Ordering::Relaxed) + 1;
+                SERVE_OBS.model_generation.set(generation as f64);
+                SERVE_OBS.reloads.inc();
+                rpt_obs::info!(target: "serve", "hot-reloaded checkpoint generation={generation}");
+            }
+            Err(e) => {
+                SERVE_OBS.reload_errors.inc();
+                rpt_obs::warn!(target: "serve", "checkpoint reload rejected: {e}");
+            }
+        }
+    }
+}
+
+fn stat(path: &std::path::Path) -> Option<(SystemTime, u64)> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.modified().ok()?, meta.len()))
+}

@@ -1,0 +1,329 @@
+//! # rpt-serve
+//!
+//! A std-only HTTP/1.1 inference server for RPT models (DESIGN.md
+//! §Serving): TCP listener + acceptor, hand-rolled request parser
+//! ([`http`]), [`rpt_json`] bodies ([`api`]), and a dynamic
+//! micro-batching backend ([`batcher`] over [`rpt_nn::MicroBatcher`])
+//! that coalesces concurrent decode requests into one fused decoder step
+//! per token — without changing a single response byte relative to
+//! single-request decoding.
+//!
+//! Endpoints:
+//!
+//! | route | body | result |
+//! |---|---|---|
+//! | `POST /v1/clean` | `{"src": [ids], "mode": "greedy"\|"beam", …}` | decoded tokens / hypotheses |
+//! | `POST /v1/detect` | `{"src": [ids]}` | per-token log-probs of the row itself |
+//! | `POST /v1/match` | `{"src": [ids], "targets": [ids]}` | log-prob of `targets` given `src` |
+//! | `GET /healthz` | — | `{"status":"ok","model_generation":n}` |
+//! | `GET /metrics` | — | the [`rpt_obs::snapshot`] document |
+//!
+//! Decode requests past the bounded queue are rejected with
+//! `503` + `Retry-After: 1`. The checkpoint named in
+//! [`ServeConfig::checkpoint`] is hot-reloaded when its file changes
+//! (atomic-rename writes only; torn files are rejected harmlessly).
+
+pub mod api;
+mod batcher;
+pub mod http;
+mod obs;
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rpt_nn::{Seq2Seq, TransformerConfig};
+use rpt_tensor::ParamStore;
+
+use batcher::{Batcher, BatcherShared, Job};
+use http::{Parsed, Request, RequestParser, Response};
+use obs::SERVE_OBS;
+
+/// Server settings. `Default` gives an ephemeral localhost port and the
+/// documented env-var fallbacks; builders override per field.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:0` → kernel-assigned port).
+    pub addr: String,
+    /// Most requests coalesced into one fused decode batch
+    /// (`RPT_SERVE_MAX_BATCH`, default 8).
+    pub max_batch: usize,
+    /// Bounded queue capacity; requests beyond it get 503
+    /// (`RPT_SERVE_QUEUE_CAP`, default `4 * max_batch`).
+    pub queue_cap: usize,
+    /// Checkpoint file to watch for hot-reload (never loaded at startup;
+    /// the server starts from the parameters it was handed).
+    pub checkpoint: Option<PathBuf>,
+    /// Idle poll interval for reload/shutdown checks, ms
+    /// (`RPT_SERVE_RELOAD_POLL_MS`, default 50).
+    pub reload_poll_ms: u64,
+    /// Per-read socket timeout, ms (shutdown responsiveness).
+    pub read_timeout_ms: u64,
+    /// 431 ceiling for request line + headers, bytes.
+    pub max_header_bytes: usize,
+    /// 413 ceiling for request bodies, bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let max_batch = env_usize("RPT_SERVE_MAX_BATCH").unwrap_or(8).max(1);
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch,
+            queue_cap: env_usize("RPT_SERVE_QUEUE_CAP")
+                .unwrap_or(4 * max_batch)
+                .max(1),
+            checkpoint: None,
+            reload_poll_ms: env_usize("RPT_SERVE_RELOAD_POLL_MS").unwrap_or(50) as u64,
+            read_timeout_ms: 50,
+            max_header_bytes: http::DEFAULT_MAX_HEADER_BYTES,
+            max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+        }
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    model_cfg: TransformerConfig,
+    tx: SyncSender<Job>,
+    state: Arc<BatcherShared>,
+}
+
+/// A running server. Dropping without [`Server::shutdown`] leaks the
+/// worker threads (they exit with the process); tests should shut down.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Option<Arc<Shared>>,
+    acceptor: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor + batcher, and returns immediately.
+    /// The served parameters are exactly `params` until a hot-reload.
+    pub fn start(model: Seq2Seq, params: ParamStore, cfg: ServeConfig) -> std::io::Result<Server> {
+        rpt_obs::set_metrics_enabled(true);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let (tx, rx) = sync_channel::<Job>(cfg.queue_cap);
+        let state = Arc::new(BatcherShared {
+            queue_depth: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let model_cfg = model.config().clone();
+        let batcher = Batcher::new(
+            model,
+            params,
+            rx,
+            cfg.max_batch,
+            cfg.checkpoint.clone(),
+            Duration::from_millis(cfg.reload_poll_ms.max(1)),
+            Arc::clone(&state),
+        );
+        let batcher = std::thread::Builder::new()
+            .name("rpt-serve-batcher".into())
+            .spawn(move || batcher.run())?;
+
+        let shared = Arc::new(Shared {
+            cfg,
+            model_cfg,
+            tx,
+            state,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("rpt-serve-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.state.shutdown.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shared = Arc::clone(&shared);
+                        let handle = std::thread::Builder::new()
+                            .name("rpt-serve-conn".into())
+                            .spawn(move || handle_connection(stream, shared));
+                        if let Ok(handle) = handle {
+                            let mut guard = conns.lock().unwrap();
+                            // Reap finished handlers so long-lived servers
+                            // don't accumulate handles.
+                            guard.retain(|h| !h.is_finished());
+                            guard.push(handle);
+                        }
+                    }
+                })?
+        };
+        rpt_obs::info!(target: "serve", "listening on {addr}");
+        Ok(Server {
+            addr,
+            shared: Some(shared),
+            acceptor: Some(acceptor),
+            batcher: Some(batcher),
+            conns,
+        })
+    }
+
+    /// The bound address (use with `addr: "127.0.0.1:0"` to discover the
+    /// kernel-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests finish,
+    /// drain the batcher, join every thread.
+    pub fn shutdown(mut self) {
+        if let Some(shared) = &self.shared {
+            shared.state.shutdown.store(true, Ordering::Relaxed);
+        }
+        // Unblock the acceptor's blocking accept with a throwaway
+        // connection; it checks the flag before handling it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        // All producers are gone once the handlers are joined and our own
+        // Shared (holding the SyncSender) is dropped; the batcher then
+        // sees a disconnected queue, finishes its drain, and exits.
+        let batcher = self.batcher.take();
+        drop(self.shared.take());
+        if let Some(h) = batcher {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            shared.state.shutdown.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.cfg.read_timeout_ms.max(1),
+    )));
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new(shared.cfg.max_header_bytes, shared.cfg.max_body_bytes);
+    let mut buf = [0u8; 4096];
+    loop {
+        match parser.next_request() {
+            Ok(Parsed::Request(req)) => {
+                let span = SERVE_OBS.request_ms.time();
+                let resp = dispatch(&req, &shared);
+                drop(span);
+                if resp.write_to(&mut stream, req.keep_alive).is_err() || !req.keep_alive {
+                    return;
+                }
+                continue;
+            }
+            Ok(Parsed::NeedMore) => {}
+            Err(e) => {
+                SERVE_OBS.errors.inc();
+                let _ =
+                    Response::error(e.status(), e.code(), e.message()).write_to(&mut stream, false);
+                return;
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => parser.feed(&buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.state.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn dispatch(req: &Request, shared: &Shared) -> Response {
+    SERVE_OBS.requests.inc();
+    let resp = route(req, shared);
+    if resp.status >= 400 && resp.status != 503 {
+        SERVE_OBS.errors.inc();
+    }
+    resp
+}
+
+fn route(req: &Request, shared: &Shared) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let generation = shared.state.generation.load(Ordering::Relaxed);
+            Response::json(
+                200,
+                rpt_json::json!({"status": "ok", "model_generation": generation}).to_string(),
+            )
+        }
+        ("GET", "/metrics") => Response::json(200, rpt_obs::snapshot().to_string_pretty()),
+        ("POST", "/v1/clean") => submit(api::parse_clean(&req.body, &shared.model_cfg), shared),
+        ("POST", "/v1/detect") => submit(api::parse_detect(&req.body, &shared.model_cfg), shared),
+        ("POST", "/v1/match") => submit(api::parse_match(&req.body, &shared.model_cfg), shared),
+        (_, "/healthz" | "/metrics" | "/v1/clean" | "/v1/detect" | "/v1/match") => {
+            Response::error(405, "method_not_allowed", "wrong method for this route")
+        }
+        _ => Response::error(404, "not_found", "unknown route"),
+    }
+}
+
+/// Queues a decode job and blocks this connection's thread until the
+/// batcher answers (the batcher never parks a job: every admitted job is
+/// stepped to completion, so this wait is bounded by decode time).
+fn submit(spec: Result<rpt_nn::JobSpec, api::ApiError>, shared: &Shared) -> Response {
+    let spec = match spec {
+        Ok(spec) => spec,
+        Err(e) => return Response::error(400, e.code, &e.message),
+    };
+    let (resp_tx, resp_rx) = sync_channel(1);
+    // Count the job before sending it so the batcher's decrement (which
+    // happens-after the send) can never observe an un-incremented depth.
+    let depth = shared.state.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+    SERVE_OBS.queue_depth.set(depth as f64);
+    match shared.tx.try_send(Job {
+        spec,
+        resp: resp_tx,
+    }) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            shared.state.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            SERVE_OBS.rejected.inc();
+            let mut resp = Response::error(503, "queue_full", "decode queue is full; retry");
+            resp.headers.push(("retry-after", "1".to_string()));
+            return resp;
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.state.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            return Response::error(503, "shutting_down", "server is shutting down");
+        }
+    }
+    match resp_rx.recv() {
+        Ok((generation, out)) => Response::json(200, api::render_output(&out, generation)),
+        Err(_) => Response::error(500, "internal", "batcher dropped the request"),
+    }
+}

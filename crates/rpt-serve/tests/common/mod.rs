@@ -1,0 +1,87 @@
+//! Shared helpers for the rpt-serve integration suites: a deterministic
+//! tiny model and a minimal blocking HTTP/1.1 client.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests within one binary: the rpt-obs registry is process
+/// global, so concurrent servers would corrupt each other's gauge
+/// assertions.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+pub fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+use rpt_nn::{Seq2Seq, TransformerConfig};
+use rpt_rng::{SeedableRng, SmallRng};
+use rpt_tensor::ParamStore;
+
+/// A tiny untrained model — deterministic per seed, which is all the
+/// server plumbing tests need (decode output only has to be *stable*,
+/// not meaningful).
+pub fn tiny_model(seed: u64) -> (Seq2Seq, ParamStore) {
+    let mut params = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let model = Seq2Seq::new(&mut params, TransformerConfig::tiny(16), &mut rng);
+    (model, params)
+}
+
+/// One HTTP request over a fresh connection; returns `(status, body)`.
+pub fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    read_response(&mut stream)
+}
+
+/// Reads one full response (headers + `content-length` body).
+pub fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    let header_end = loop {
+        if let Some(at) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break at;
+        }
+        let n = stream.read(&mut buf).expect("read response");
+        assert!(n > 0, "connection closed mid-headers: {raw:?}");
+        raw.extend_from_slice(&buf[..n]);
+    };
+    let head = std::str::from_utf8(&raw[..header_end]).expect("utf-8 headers");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {head:?}"));
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .expect("content-length header");
+    let mut body = raw[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut buf).expect("read body");
+        assert!(n > 0, "connection closed mid-body");
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+/// A clean per-process temp directory for checkpoint files.
+#[allow(dead_code)]
+pub fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rpt-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}

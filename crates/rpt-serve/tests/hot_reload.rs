@@ -1,0 +1,138 @@
+//! Checkpoint hot-reload under traffic: an atomic swap takes effect
+//! without downtime, responses always come from exactly one parameter
+//! generation, and torn or fault-injected checkpoint writes are rejected
+//! without taking the server down.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use rpt_serve::{ServeConfig, Server};
+use rpt_tensor::serialize::{save_file, save_file_with, Fault, FaultyIo};
+
+/// The scoring request used to fingerprint which parameters are serving.
+const PROBE: &str = r#"{"src": [9, 10], "targets": [11, 9]}"#;
+
+fn probe_score(addr: std::net::SocketAddr) -> f64 {
+    let (status, body) = common::request(addr, "POST", "/v1/match", PROBE);
+    assert_eq!(status, 200, "probe failed: {body}");
+    rpt_json::Json::parse(&body)
+        .expect("probe body is JSON")
+        .get("total_logprob")
+        .and_then(rpt_json::Json::as_f64)
+        .expect("probe body has total_logprob")
+}
+
+/// Repeats `poll` until it returns true or ~5s of attempts elapse.
+fn eventually(mut poll: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if poll() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn atomic_swap_mid_traffic_torn_writes_rejected() {
+    let _guard = common::serial();
+    let dir = common::fresh_dir("hot-reload");
+    let ckpt = dir.join("model.json");
+
+    let (model_a, params_a) = common::tiny_model(0);
+    let (_model_b, params_b) = common::tiny_model(7);
+    save_file(&params_a, &ckpt).expect("seed checkpoint");
+
+    let server = Server::start(
+        model_a,
+        params_a.clone(),
+        ServeConfig {
+            checkpoint: Some(ckpt.clone()),
+            max_batch: 4,
+            queue_cap: 8,
+            reload_poll_ms: 5,
+            read_timeout_ms: 10,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    let score_a = probe_score(addr);
+    let reloads = rpt_obs::counter("serve.reloads");
+    let reload_errors = rpt_obs::counter("serve.reload_errors");
+    let reloads_before = reloads.value();
+
+    // Atomic swap to generation 1: every response before the swap is
+    // bitwise A's, every response after is bitwise B's — `eventually`
+    // tolerates only those two values, never a blend.
+    save_file(&params_b, &ckpt).expect("swap checkpoint");
+    let score_b = {
+        let mut last = score_a;
+        eventually(
+            || {
+                last = probe_score(addr);
+                assert!(
+                    last == score_a || reloads.value() > reloads_before,
+                    "response changed without a recorded reload"
+                );
+                last != score_a
+            },
+            "the swapped checkpoint to serve",
+        );
+        last
+    };
+    assert_ne!(score_b, score_a, "generations are distinguishable");
+    let (status, health) = common::request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(
+        health.contains("\"model_generation\":1"),
+        "generation did not advance: {health}"
+    );
+
+    // A torn checkpoint (simulating a non-atomic writer dying mid-write)
+    // must be rejected: reload_errors increments, the server keeps
+    // serving generation 1, and later requests still succeed.
+    let full = std::fs::read(&ckpt).expect("read checkpoint");
+    let errors_before = reload_errors.value();
+    std::fs::write(&ckpt, &full[..full.len() / 2]).expect("tear checkpoint");
+    eventually(
+        || reload_errors.value() > errors_before,
+        "the torn checkpoint to be rejected",
+    );
+    assert_eq!(probe_score(addr), score_b, "torn reload changed responses");
+
+    // The PR-4 atomic writer with an injected short write fails in the
+    // staging file and never moves the destination: no reload triggers
+    // at all (the watched path's stat is untouched).
+    let reloads_now = reloads.value();
+    let errors_now = reload_errors.value();
+    let mut faulty = FaultyIo::new(Fault::ShortWrite(32));
+    assert!(
+        save_file_with(&mut faulty, &params_a, &ckpt).is_err(),
+        "short write should fail"
+    );
+    assert!(faulty.tripped());
+    assert_eq!(probe_score(addr), score_b);
+    assert_eq!(reloads.value(), reloads_now, "faulty write caused a reload");
+    assert_eq!(reload_errors.value(), errors_now);
+
+    // A subsequent good atomic write recovers: back to A's parameters at
+    // generation 2.
+    save_file(&params_a, &ckpt).expect("recover checkpoint");
+    eventually(
+        || probe_score(addr) == score_a,
+        "the recovered checkpoint to serve",
+    );
+    let (_, health) = common::request(addr, "GET", "/healthz", "");
+    assert!(
+        health.contains("\"model_generation\":2"),
+        "recovery did not advance the generation: {health}"
+    );
+
+    server.shutdown();
+    assert_eq!(rpt_obs::gauge("serve.kv_slots_in_use").value(), 0.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -239,11 +239,25 @@ impl Tensor {
     /// [`Tensor::matmul2d`] on an explicit pool (servers with dedicated
     /// pools; the thread-count equivalence tests).
     pub fn matmul2d_with(&self, other: &Tensor, pool: &rpt_par::ThreadPool) -> Tensor {
-        assert_eq!(self.ndim(), 2, "matmul2d lhs must be 2-d, got {:?}", self.shape);
-        assert_eq!(other.ndim(), 2, "matmul2d rhs must be 2-d, got {:?}", other.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "matmul2d lhs must be 2-d, got {:?}",
+            self.shape
+        );
+        assert_eq!(
+            other.ndim(),
+            2,
+            "matmul2d rhs must be 2-d, got {:?}",
+            other.shape
+        );
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul2d inner dims differ: {:?} x {:?}", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul2d inner dims differ: {:?} x {:?}",
+            self.shape, other.shape
+        );
         let _t = MATMUL_OBS.matmul2d_ms.time();
         MATMUL_OBS.calls.inc();
         MATMUL_OBS.madds.add((m * k * n) as u64);
@@ -264,11 +278,24 @@ impl Tensor {
     /// [`Tensor::bmm`] on an explicit pool.
     pub fn bmm_with(&self, other: &Tensor, pool: &rpt_par::ThreadPool) -> Tensor {
         assert_eq!(self.ndim(), 3, "bmm lhs must be 3-d, got {:?}", self.shape);
-        assert_eq!(other.ndim(), 3, "bmm rhs must be 3-d, got {:?}", other.shape);
+        assert_eq!(
+            other.ndim(),
+            3,
+            "bmm rhs must be 3-d, got {:?}",
+            other.shape
+        );
         let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
         let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
-        assert_eq!(b, b2, "bmm batch dims differ: {:?} x {:?}", self.shape, other.shape);
-        assert_eq!(k, k2, "bmm inner dims differ: {:?} x {:?}", self.shape, other.shape);
+        assert_eq!(
+            b, b2,
+            "bmm batch dims differ: {:?} x {:?}",
+            self.shape, other.shape
+        );
+        assert_eq!(
+            k, k2,
+            "bmm inner dims differ: {:?} x {:?}",
+            self.shape, other.shape
+        );
         let _t = MATMUL_OBS.bmm_ms.time();
         MATMUL_OBS.calls.inc();
         MATMUL_OBS.madds.add((b * m * k * n) as u64);
@@ -337,7 +364,11 @@ impl Tensor {
         let d = self.shape[1];
         let mut out = Vec::with_capacity(ids.len() * d);
         for &i in ids {
-            assert!(i < self.shape[0], "gather_rows index {i} out of {}", self.shape[0]);
+            assert!(
+                i < self.shape[0],
+                "gather_rows index {i} out of {}",
+                self.shape[0]
+            );
             out.extend_from_slice(&self.data[i * d..(i + 1) * d]);
         }
         Tensor {
@@ -351,12 +382,30 @@ impl Tensor {
     /// append: one decode step's keys/values (`t2 == 1`) joined onto the
     /// cached prefix.
     pub fn concat_dim1(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.ndim(), 3, "concat_dim1 lhs must be 3-d, got {:?}", self.shape);
-        assert_eq!(other.ndim(), 3, "concat_dim1 rhs must be 3-d, got {:?}", other.shape);
+        assert_eq!(
+            self.ndim(),
+            3,
+            "concat_dim1 lhs must be 3-d, got {:?}",
+            self.shape
+        );
+        assert_eq!(
+            other.ndim(),
+            3,
+            "concat_dim1 rhs must be 3-d, got {:?}",
+            other.shape
+        );
         let (b, t1, d) = (self.shape[0], self.shape[1], self.shape[2]);
         let (b2, t2, d2) = (other.shape[0], other.shape[1], other.shape[2]);
-        assert_eq!(b, b2, "concat_dim1 batch dims differ: {:?} vs {:?}", self.shape, other.shape);
-        assert_eq!(d, d2, "concat_dim1 last dims differ: {:?} vs {:?}", self.shape, other.shape);
+        assert_eq!(
+            b, b2,
+            "concat_dim1 batch dims differ: {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        assert_eq!(
+            d, d2,
+            "concat_dim1 last dims differ: {:?} vs {:?}",
+            self.shape, other.shape
+        );
         let mut out = Vec::with_capacity(b * (t1 + t2) * d);
         for bi in 0..b {
             out.extend_from_slice(&self.data[bi * t1 * d..(bi + 1) * t1 * d]);
@@ -368,12 +417,63 @@ impl Tensor {
         }
     }
 
+    /// Concatenates two tensors along dim 0. All trailing dimensions must
+    /// match; the data vectors are simply joined. This is the cache-slot
+    /// *admission* op: a new request's `[h, t, dh]` K/V rows are appended
+    /// onto the fused multi-request cache.
+    pub fn concat_dim0(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.shape[1..],
+            other.shape[1..],
+            "concat_dim0 trailing dims differ: {:?} vs {:?}",
+            self.shape,
+            other.shape
+        );
+        let mut out = Vec::with_capacity(self.data.len() + other.data.len());
+        out.extend_from_slice(&self.data);
+        out.extend_from_slice(&other.data);
+        let mut shape = self.shape.clone();
+        shape[0] += other.shape[0];
+        Tensor {
+            data: Arc::new(out),
+            shape,
+        }
+    }
+
+    /// Keeps time steps `start..` of a 3-d `[b, t, d]` tensor, producing
+    /// `[b, t - start, d]`. The fused multi-request decoder uses this to
+    /// trim leading cache positions once every live request masks them.
+    pub fn slice_dim1(&self, start: usize) -> Tensor {
+        assert_eq!(
+            self.ndim(),
+            3,
+            "slice_dim1 source must be 3-d, got {:?}",
+            self.shape
+        );
+        let (b, t, d) = (self.shape[0], self.shape[1], self.shape[2]);
+        assert!(start <= t, "slice_dim1 start {start} out of {t}");
+        let keep = t - start;
+        let mut out = Vec::with_capacity(b * keep * d);
+        for bi in 0..b {
+            out.extend_from_slice(&self.data[(bi * t + start) * d..(bi + 1) * t * d]);
+        }
+        Tensor {
+            data: Arc::new(out),
+            shape: vec![b, keep, d],
+        }
+    }
+
     /// Gathers dim-0 slices of a 3-d tensor: `[b, t, d]` indexed by `idx`
     /// yields `[idx.len(), t, d]`. Indices may repeat — beam search uses
     /// this both to replicate a single hypothesis's KV cache across beams
     /// and to reorder caches after pruning.
     pub fn gather_batches(&self, idx: &[usize]) -> Tensor {
-        assert_eq!(self.ndim(), 3, "gather_batches source must be 3-d, got {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            3,
+            "gather_batches source must be 3-d, got {:?}",
+            self.shape
+        );
         let (b, t, d) = (self.shape[0], self.shape[1], self.shape[2]);
         let mut out = Vec::with_capacity(idx.len() * t * d);
         for &i in idx {
@@ -652,9 +752,7 @@ fn matmul_batched(
     };
     // Effective fan-out: the pool's real dispatch width, further clamped
     // to the hardware (explicit test pools are built unclamped).
-    let width = pool
-        .dispatch_width()
-        .min(rpt_par::hardware_threads());
+    let width = pool.dispatch_width().min(rpt_par::hardware_threads());
     let chunks = matmul_chunk_count(rows, k, n, width);
     if chunks <= 1 {
         run(0, out);
@@ -830,6 +928,38 @@ mod tests {
             c.data(),
             &[0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 4.0, 5.0, 6.0, 7.0, 12.0, 13.0]
         );
+    }
+
+    #[test]
+    fn concat_dim0_appends_rows() {
+        let a = Tensor::from_vec((0..8).map(|x| x as f32).collect(), &[2, 2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 11.0, 12.0, 13.0], &[1, 2, 2]).unwrap();
+        let c = a.concat_dim0(&b);
+        assert_eq!(c.shape(), &[3, 2, 2]);
+        assert_eq!(
+            c.data(),
+            &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 10.0, 11.0, 12.0, 13.0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "concat_dim0 trailing dims")]
+    fn concat_dim0_checks_trailing_dims() {
+        let a = Tensor::zeros(&[2, 2, 2]);
+        let b = Tensor::zeros(&[1, 3, 2]);
+        let _ = a.concat_dim0(&b);
+    }
+
+    #[test]
+    fn slice_dim1_trims_leading_time_steps() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[2, 3, 2]).unwrap();
+        let s = a.slice_dim1(1);
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        assert_eq!(s.data(), &[2.0, 3.0, 4.0, 5.0, 8.0, 9.0, 10.0, 11.0]);
+        let all = a.slice_dim1(0);
+        assert_eq!(all.data(), a.data());
+        let none = a.slice_dim1(3);
+        assert_eq!(none.shape(), &[2, 0, 2]);
     }
 
     #[test]

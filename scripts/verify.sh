@@ -20,6 +20,10 @@
 # 6. A metrics smoke drive: the same CLI run with --metrics-out must
 #    leave a parseable snapshot containing the core training, decode,
 #    thread-pool, and checkpoint-IO metric names.
+# 7. The serving gate: the batched-server bit-identity suite at 1 and 4
+#    threads, a fast-mode load-generator run whose artifact must parse
+#    and show real batch occupancy, and a CLI `rpt serve` smoke drive
+#    over raw TCP covering every endpoint plus the serve.* metrics.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +34,11 @@ RPT_THREADS=4 cargo test -q --offline --test parallel_equivalence
 RPT_THREADS=4 cargo test -q --offline --test decode_equivalence
 RPT_THREADS=4 cargo test -q --offline --release --test resume_equivalence
 
+# Serving bit-identity gate: the micro-batched server must return
+# byte-identical decodes with and without a threaded global pool.
+RPT_THREADS=1 cargo test -q --offline --test serve_equivalence
+RPT_THREADS=4 cargo test -q --offline --test serve_equivalence
+
 # SIMD gate: RPT_SIMD=0 forces the scalar kernels; both settings must be
 # bit-identical (the suite also forces both kernels inside one process,
 # covering hosts where only one path can run).
@@ -39,7 +48,8 @@ RPT_SIMD=0 RPT_THREADS=4 cargo test -q --offline --test parallel_equivalence
 RPT_SIMD=1 RPT_THREADS=4 cargo test -q --offline --test parallel_equivalence
 
 smoke_dir=$(mktemp -d)
-trap 'rm -rf "$smoke_dir"' EXIT
+serve_pid=""
+trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$smoke_dir"' EXIT
 RPT_BENCH_FAST=1 RPT_BENCH_DIR="$smoke_dir" \
     cargo bench -q --offline -p rpt-bench --bench micro -- decode
 test -s "$smoke_dir/bench_decode.json" || {
@@ -72,6 +82,34 @@ parallel = json.load(open(f"{d}/bench_parallel.json"))
 s4 = parallel["speedup_4"]
 assert s4 >= 0.95, f"4-thread matmul regressed vs serial: speedup_4={s4:.3f}"
 print(f"verify: bench artifacts OK (speedup_4={s4:.3f})")
+PY
+fi
+
+# Serving load-generator smoke: the artifact must parse, cover all three
+# concurrency levels, and show the batcher actually coalescing (near-full
+# occupancy at concurrency 16). The speedup bar is lenient here — fast
+# mode takes 2 short rounds — while the committed full-mode
+# bench_results/bench_serve.json holds the >= 2x line.
+RPT_BENCH_FAST=1 RPT_BENCH_DIR="$smoke_dir" \
+    cargo bench -q --offline -p rpt-bench --bench micro -- serve
+test -s "$smoke_dir/bench_serve.json" || {
+    echo "verify: serve bench artifact missing" >&2
+    exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$smoke_dir" <<'PY'
+import json, sys
+d = sys.argv[1]
+serve = json.load(open(f"{d}/bench_serve.json"))
+runs = {r["concurrency"]: r for r in serve["runs"]}
+assert sorted(runs) == [1, 4, 16], f"unexpected levels: {sorted(runs)}"
+for r in serve["runs"]:
+    assert r["tokens_per_sec"] > 0 and r["p99_ms"] > 0
+occ = runs[16]["avg_batch_occupancy"]
+assert occ >= 8, f"batcher not coalescing: occupancy {occ:.2f} at concurrency 16"
+s = serve["batch16_speedup"]
+assert s >= 1.2, f"batched throughput not above single-stream: {s:.3f}"
+print(f"verify: serve bench OK (occupancy {occ:.2f}, speedup {s:.3f})")
 PY
 fi
 
@@ -129,5 +167,73 @@ for metric in train.step_ms train.tokens_per_sec decode.tokens \
         exit 1
     }
 done
+
+# Serving smoke drive: `rpt serve` on an ephemeral port must answer every
+# endpoint over raw TCP (bash /dev/tcp — no curl dependency) and expose
+# the serve.* instrument family in /metrics.
+./target/release/rpt serve "$smoke_dir/toy.csv" --steps 20 \
+    --checkpoint-dir "$smoke_dir/serve-ckpt" > "$smoke_dir/serve.log" &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 240); do
+    serve_addr=$(sed -n 's/^listening on //p' "$smoke_dir/serve.log")
+    [ -n "$serve_addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.5
+done
+[ -n "$serve_addr" ] || {
+    echo "verify: rpt serve did not come up" >&2
+    cat "$smoke_dir/serve.log" >&2
+    exit 1
+}
+
+serve_request() { # serve_request <request-lines> — raw HTTP over /dev/tcp
+    local host="${serve_addr%:*}" port="${serve_addr##*:}"
+    exec 3<>"/dev/tcp/$host/$port"
+    printf '%b' "$1" >&3
+    cat <&3
+    exec 3>&-
+}
+serve_get() {
+    serve_request "GET $1 HTTP/1.1\r\nHost: v\r\nConnection: close\r\n\r\n"
+}
+serve_post() {
+    serve_request "POST $1 HTTP/1.1\r\nHost: v\r\nContent-Length: ${#2}\r\nConnection: close\r\n\r\n$2"
+}
+
+serve_get /healthz | grep -q '"status":"ok"' || {
+    echo "verify: /healthz not healthy" >&2
+    exit 1
+}
+serve_post /v1/clean '{"src": [3, 4], "max_steps": 4}' | grep -q '"tokens"' || {
+    echo "verify: /v1/clean returned no tokens" >&2
+    exit 1
+}
+serve_post /v1/detect '{"src": [3, 4]}' | grep -q '"total_logprob"' || {
+    echo "verify: /v1/detect returned no score" >&2
+    exit 1
+}
+serve_post /v1/match '{"src": [3], "targets": [4]}' | grep -q '"total_logprob"' || {
+    echo "verify: /v1/match returned no score" >&2
+    exit 1
+}
+serve_get /metrics > "$smoke_dir/serve-metrics.json.raw"
+sed '1,/^\r\{0,1\}$/d' "$smoke_dir/serve-metrics.json.raw" > "$smoke_dir/serve-metrics.json"
+for metric in serve.requests serve.batch_steps serve.tokens \
+        serve.queue_depth serve.kv_slots_in_use; do
+    grep -q "\"$metric\"" "$smoke_dir/serve-metrics.json" || {
+        echo "verify: /metrics missing $metric" >&2
+        exit 1
+    }
+done
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$smoke_dir/serve-metrics.json" >/dev/null || {
+        echo "verify: /metrics body is not valid JSON" >&2
+        exit 1
+    }
+fi
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
 
 echo "verify: OK"

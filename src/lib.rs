@@ -15,6 +15,7 @@ pub use rpt_json as json;
 pub use rpt_nn as nn;
 pub use rpt_par as par;
 pub use rpt_rng as rng;
+pub use rpt_serve as serve;
 pub use rpt_table as table;
 pub use rpt_tensor as tensor;
 pub use rpt_tokenizer as tokenizer;

@@ -1,0 +1,354 @@
+//! Batched-server / single-request decode equivalence.
+//!
+//! The `rpt-serve` micro-batcher coalesces concurrent decode requests
+//! into fused multi-row steps. This suite proves the fusion is
+//! invisible: a server running with `max_batch = 8` under concurrent
+//! mixed-length clients returns **bit-identical** results to the
+//! single-request decode loops (`greedy_decode`, `beam_search`,
+//! `forced_score`) run directly on the same trained weights — token
+//! sequences equal, and every score equal down to the `f32` bit
+//! pattern after its JSON `f64` round-trip.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use rpt::json::Json;
+use rpt::nn::{
+    beam_search, forced_score, greedy_decode, BeamConfig, Ctx, Hypothesis, Seq2Seq, Sequence,
+    TokenBatch, TransformerConfig,
+};
+use rpt::serve::{ServeConfig, Server};
+use rpt::tensor::{clip_global_norm, Adam, AdamConfig, ParamStore, Tape};
+use rpt_rng::{SeedableRng, SmallRng};
+
+const BOS: usize = 1;
+const EOS: usize = 2;
+
+/// Trains a tiny copy model (output = input tokens) — the same recipe as
+/// `tests/decode_equivalence.rs`, so the oracles decode non-trivially.
+fn trained_copy_model() -> (Seq2Seq, ParamStore) {
+    let mut params = ParamStore::new();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let model = Seq2Seq::new(&mut params, TransformerConfig::tiny(12), &mut rng);
+    let mut opt = Adam::new(AdamConfig {
+        lr: 3e-3,
+        ..Default::default()
+    });
+    let examples: Vec<Vec<usize>> = vec![
+        vec![9, 10],
+        vec![10, 9],
+        vec![11, 9],
+        vec![9, 11],
+        vec![10, 11],
+        vec![11, 10],
+    ];
+    for _ in 0..150 {
+        let srcs: Vec<Sequence> = examples
+            .iter()
+            .map(|e| Sequence::from_ids(e.clone()))
+            .collect();
+        let src = TokenBatch::from_sequences(&srcs, 16, 0);
+        let tgt_in: Vec<Sequence> = examples
+            .iter()
+            .map(|e| {
+                let mut v = vec![BOS];
+                v.extend(e);
+                Sequence::from_ids(v)
+            })
+            .collect();
+        let tgt_in = TokenBatch::from_sequences(&tgt_in, 16, 0);
+        let mut tgt_out = vec![0usize; tgt_in.b * tgt_in.t];
+        for (bi, e) in examples.iter().enumerate() {
+            for (i, &tok) in e.iter().enumerate() {
+                tgt_out[bi * tgt_in.t + i] = tok;
+            }
+            tgt_out[bi * tgt_in.t + e.len()] = EOS;
+        }
+        let tape = Tape::new();
+        let mut rng3 = SmallRng::seed_from_u64(2);
+        let mut ctx = Ctx::new(&tape, &mut params, &mut rng3, true);
+        let loss = model.reconstruction_loss(&mut ctx, &src, &tgt_in, &tgt_out, 0);
+        let mut grads = tape.backward(loss);
+        let mut pg = params.collect_grads(&mut grads);
+        clip_global_norm(&mut pg, 1.0);
+        opt.step(&mut params, &pg);
+    }
+    (model, params)
+}
+
+/// One-shot HTTP client: POST `body`, `Connection: close`, return
+/// `(status, body)`.
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn ids_json(ids: &[usize]) -> String {
+    let inner: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+fn tokens_of(doc: &Json, key: &str) -> Vec<usize> {
+    match doc.get(key) {
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|v| v.as_u64().expect("token id") as usize)
+            .collect(),
+        other => panic!("{key} missing or not an array: {other:?}"),
+    }
+}
+
+/// Extracts an `f32` that crossed the wire as JSON `f64`, preserving bits.
+fn f32_of(v: &Json) -> f32 {
+    v.as_f64().expect("number") as f32
+}
+
+/// Everything one request must produce, precomputed on the weights
+/// before they move into the server.
+enum Expected {
+    Greedy {
+        src: Vec<usize>,
+        tokens: Vec<usize>,
+    },
+    Beam {
+        src: Vec<usize>,
+        hyps: Vec<Hypothesis>,
+    },
+    Match {
+        src: Vec<usize>,
+        targets: Vec<usize>,
+        total: f32,
+        per_token: Vec<f32>,
+    },
+    Detect {
+        src: Vec<usize>,
+        total: f32,
+        per_token: Vec<f32>,
+    },
+}
+
+const MAX_STEPS: usize = 8;
+
+impl Expected {
+    fn request(&self) -> (&'static str, String) {
+        match self {
+            Expected::Greedy { src, .. } => (
+                "/v1/clean",
+                format!(r#"{{"src": {}, "max_steps": {MAX_STEPS}}}"#, ids_json(src)),
+            ),
+            Expected::Beam { src, .. } => (
+                "/v1/clean",
+                format!(
+                    r#"{{"src": {}, "mode": "beam", "beam_width": 4, "max_steps": {MAX_STEPS}}}"#,
+                    ids_json(src)
+                ),
+            ),
+            Expected::Match { src, targets, .. } => (
+                "/v1/match",
+                format!(
+                    r#"{{"src": {}, "targets": {}}}"#,
+                    ids_json(src),
+                    ids_json(targets)
+                ),
+            ),
+            Expected::Detect { src, .. } => {
+                ("/v1/detect", format!(r#"{{"src": {}}}"#, ids_json(src)))
+            }
+        }
+    }
+
+    fn check(&self, body: &str) {
+        let doc = Json::parse(body).expect("response JSON");
+        match self {
+            Expected::Greedy { src, tokens } => {
+                assert_eq!(
+                    &tokens_of(&doc, "tokens"),
+                    tokens,
+                    "greedy tokens diverged for src {src:?}"
+                );
+            }
+            Expected::Beam { src, hyps } => {
+                let got = match doc.get("hypotheses") {
+                    Some(Json::Array(items)) => items,
+                    other => panic!("hypotheses missing: {other:?}"),
+                };
+                assert_eq!(got.len(), hyps.len(), "beam count diverged for src {src:?}");
+                for (i, (g, want)) in got.iter().zip(hyps.iter()).enumerate() {
+                    assert_eq!(
+                        tokens_of(g, "tokens"),
+                        want.tokens,
+                        "beam hypothesis {i} tokens diverged for src {src:?}"
+                    );
+                    let score = f32_of(g.get("score").expect("score"));
+                    assert_eq!(
+                        score.to_bits(),
+                        want.score.to_bits(),
+                        "beam hypothesis {i} score not bit-identical for src {src:?}: \
+                         {score} vs {}",
+                        want.score
+                    );
+                }
+            }
+            Expected::Match {
+                src,
+                total,
+                per_token,
+                ..
+            }
+            | Expected::Detect {
+                src,
+                total,
+                per_token,
+            } => {
+                let got_total = f32_of(doc.get("total_logprob").expect("total_logprob"));
+                assert_eq!(
+                    got_total.to_bits(),
+                    total.to_bits(),
+                    "total_logprob not bit-identical for src {src:?}: {got_total} vs {total}"
+                );
+                let got_per: Vec<f32> = match doc.get("per_token") {
+                    Some(Json::Array(items)) => items.iter().map(f32_of).collect(),
+                    other => panic!("per_token missing: {other:?}"),
+                };
+                assert_eq!(got_per.len(), per_token.len());
+                for (i, (g, w)) in got_per.iter().zip(per_token.iter()).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "per_token[{i}] not bit-identical for src {src:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_server_is_bit_identical_to_single_request_decode() {
+    let (model, mut params) = trained_copy_model();
+    let max_len = model.config().max_len;
+    let batch =
+        |ids: &[usize]| TokenBatch::from_sequences(&[Sequence::from_ids(ids.to_vec())], max_len, 0);
+
+    // Mixed-length sources so fused rows carry different pasts.
+    let greedy_srcs: Vec<Vec<usize>> = vec![
+        vec![9, 10],
+        vec![11],
+        vec![10, 9],
+        vec![9, 11, 10],
+        vec![10],
+    ];
+    let beam_srcs: Vec<Vec<usize>> = vec![vec![11, 10], vec![9], vec![10, 11], vec![9, 10, 11]];
+    let match_jobs: Vec<(Vec<usize>, Vec<usize>)> = vec![
+        (vec![9, 10], vec![9, 10]),
+        (vec![9, 10], vec![11]),
+        (vec![11, 9], vec![11, 9, 10]),
+    ];
+    let detect_srcs: Vec<Vec<usize>> = vec![vec![10, 9], vec![9, 10, 11]];
+
+    // Oracles first: the weights move into the server afterwards.
+    let mut expected: Vec<Expected> = Vec::new();
+    for src in &greedy_srcs {
+        let tokens = greedy_decode(&model, &mut params, &batch(src), BOS, EOS, MAX_STEPS);
+        expected.push(Expected::Greedy {
+            src: src.clone(),
+            tokens,
+        });
+    }
+    for src in &beam_srcs {
+        let cfg = BeamConfig {
+            width: 4,
+            max_steps: MAX_STEPS,
+            len_penalty: 1.0,
+        };
+        let hyps = beam_search(&model, &mut params, &batch(src), BOS, EOS, &cfg);
+        expected.push(Expected::Beam {
+            src: src.clone(),
+            hyps,
+        });
+    }
+    for (src, targets) in &match_jobs {
+        let (total, per_token) = forced_score(&model, &mut params, &batch(src), BOS, EOS, targets);
+        expected.push(Expected::Match {
+            src: src.clone(),
+            targets: targets.clone(),
+            total,
+            per_token,
+        });
+    }
+    for src in &detect_srcs {
+        let (total, per_token) = forced_score(&model, &mut params, &batch(src), BOS, EOS, src);
+        expected.push(Expected::Detect {
+            src: src.clone(),
+            total,
+            per_token,
+        });
+    }
+
+    let server = Server::start(
+        model,
+        params,
+        ServeConfig {
+            max_batch: 8,
+            queue_cap: 64,
+            ..Default::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr().to_string();
+
+    // Every expected answer gets its own client thread; three rounds so
+    // late joiners land mid-batch (exercising lead-pad + compaction), and
+    // the bytes of each repeated answer must not drift between rounds.
+    let mut first_bodies: Vec<Option<String>> = vec![None; expected.len()];
+    for _round in 0..3 {
+        let bodies: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = expected
+                .iter()
+                .map(|e| {
+                    let addr = addr.clone();
+                    s.spawn(move || {
+                        let (path, body) = e.request();
+                        let (status, resp) = post(&addr, path, &body);
+                        assert_eq!(status, 200, "unexpected status; body: {resp}");
+                        e.check(&resp);
+                        resp
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client"))
+                .collect()
+        });
+        for (slot, body) in first_bodies.iter_mut().zip(bodies) {
+            match slot {
+                None => *slot = Some(body),
+                Some(first) => assert_eq!(
+                    first, &body,
+                    "response bytes drifted between rounds under batching"
+                ),
+            }
+        }
+    }
+
+    server.shutdown();
+}
