@@ -187,6 +187,10 @@ fn bench_matmul() {
         rpt_json::Json::from(rpt_tensor::simd::simd_enabled()),
     );
     root.insert(
+        "cpu_features".into(),
+        rpt_json::Json::from(rpt_tensor::simd::cpu_features()),
+    );
+    root.insert(
         "hardware_threads".into(),
         rpt_json::Json::from(std::thread::available_parallelism().map_or(1, |n| n.get())),
     );
@@ -677,6 +681,10 @@ fn bench_serve() {
         rpt_json::Json::from("serve_clean_greedy_src24_d64"),
     );
     root.insert(
+        "cpu_features".into(),
+        rpt_json::Json::from(rpt_tensor::simd::cpu_features()),
+    );
+    root.insert(
         "hardware_threads".into(),
         rpt_json::Json::from(std::thread::available_parallelism().map_or(1, |n| n.get())),
     );
@@ -690,11 +698,113 @@ fn bench_serve() {
     rpt_bench::emit_artifact("bench_serve", &rpt_json::Json::Object(root));
 }
 
+/// Quantized decode throughput: greedy decode with f32 weights vs. the
+/// per-row int8 path (`Seq2Seq::set_quant`) — the same comparison `rpt
+/// serve --quant` makes in production, single model, single request. The
+/// shape is serving scale (d=256, ff=1024, vocab=8000), not the Table-1
+/// test shape: int8 is a *weight-matmul* lever, and only at this width
+/// do the linear layers dominate a decode step the way the deployment
+/// models the quantized path exists for do (at d=64, per-step tape
+/// overhead drowns the kernels and no weight format can matter). EOS is
+/// unreachable so tokens/sec is well-defined. Checks the int8 decode is
+/// run-to-run deterministic, then writes
+/// `bench_results/bench_quant.json` with both throughputs and the
+/// speedup (target ≥ 1.8x single-thread; run with `RPT_THREADS=1`).
+fn bench_quant() {
+    let cfg = TransformerConfig {
+        vocab_size: 8000,
+        d_model: 256,
+        n_heads: 8,
+        d_ff: 1024,
+        max_cols: 0,
+        dropout: 0.0,
+        ..TransformerConfig::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(10);
+    let mut params = ParamStore::new();
+    let mut model = Seq2Seq::new(&mut params, cfg.clone(), &mut rng);
+    let src_ids: Vec<usize> = (0..24).map(|i| 9 + (i * 7) % 900).collect();
+    let src = TokenBatch::from_sequences(&[Sequence::from_ids(src_ids)], cfg.max_len, 0);
+    const MAX_STEPS: usize = 32;
+    let (bos, eos) = (1usize, cfg.vocab_size); // eos unreachable by argmax
+
+    let f32_med = bench_function("quant/greedy_32steps_f32_d256", || {
+        std::hint::black_box(greedy_decode(
+            &model,
+            &mut params,
+            &src,
+            bos,
+            eos,
+            MAX_STEPS,
+        ));
+    });
+
+    model.set_quant(Some(std::sync::Arc::new(rpt_nn::build_quant_set(&params))));
+    let once = greedy_decode(&model, &mut params, &src, bos, eos, MAX_STEPS);
+    let twice = greedy_decode(&model, &mut params, &src, bos, eos, MAX_STEPS);
+    assert_eq!(once, twice, "int8 greedy decode must be deterministic");
+    assert_eq!(once.len(), MAX_STEPS, "eos sentinel must be unreachable");
+
+    let q_med = bench_function("quant/greedy_32steps_int8_d256", || {
+        std::hint::black_box(greedy_decode(
+            &model,
+            &mut params,
+            &src,
+            bos,
+            eos,
+            MAX_STEPS,
+        ));
+    });
+
+    let speedup = f32_med.as_secs_f64() / q_med.as_secs_f64();
+    println!("quant/int8_vs_f32_speedup          {speedup:>11.2}x");
+    let mut root = rpt_json::Map::new();
+    root.insert(
+        "bench".into(),
+        rpt_json::Json::from("quant_greedy_src24_d256_ff1024_v8000_2+2layers"),
+    );
+    root.insert(
+        "simd".into(),
+        rpt_json::Json::from(rpt_tensor::simd::simd_enabled()),
+    );
+    root.insert(
+        "cpu_features".into(),
+        rpt_json::Json::from(rpt_tensor::simd::cpu_features()),
+    );
+    root.insert(
+        "threads".into(),
+        rpt_json::Json::from(rpt_par::ThreadPool::global().num_threads()),
+    );
+    root.insert(
+        "hardware_threads".into(),
+        rpt_json::Json::from(std::thread::available_parallelism().map_or(1, |n| n.get())),
+    );
+    root.insert("max_steps".into(), rpt_json::Json::from(MAX_STEPS));
+    root.insert(
+        "f32_ns".into(),
+        rpt_json::Json::from(f32_med.as_nanos() as u64),
+    );
+    root.insert(
+        "quant_ns".into(),
+        rpt_json::Json::from(q_med.as_nanos() as u64),
+    );
+    root.insert(
+        "f32_tokens_per_sec".into(),
+        rpt_json::Json::from(MAX_STEPS as f64 / f32_med.as_secs_f64()),
+    );
+    root.insert(
+        "quant_tokens_per_sec".into(),
+        rpt_json::Json::from(MAX_STEPS as f64 / q_med.as_secs_f64()),
+    );
+    root.insert("speedup".into(), rpt_json::Json::from(speedup));
+    rpt_bench::emit_artifact("bench_quant", &rpt_json::Json::Object(root));
+}
+
 fn main() {
     // `cargo bench -- <filter>` runs only groups whose name matches
     // (flags cargo injects, like `--bench`, are skipped)
     let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-    let groups: [(&str, fn()); 10] = [
+    let groups: [(&str, fn()); 11] = [
         ("matmul", bench_matmul),
         ("softmax_layernorm", bench_softmax_layernorm),
         ("attention", bench_attention),
@@ -705,6 +815,7 @@ fn main() {
         ("parallel", bench_parallel),
         ("decode", bench_decode),
         ("serve", bench_serve),
+        ("quant", bench_quant),
     ];
     let (samples, measure, warm_up) = harness_params();
     println!(

@@ -12,7 +12,8 @@
 //! rpt clean   <file.csv> [--column C] [--steps N] [--load M] [--save M] [--output OUT]
 //! rpt detect  <file.csv> [--steps N] [--load M]  hybrid error detection
 //! rpt match   <a.csv> <b.csv> [--threshold T]    unsupervised matching (ZeroER)
-//! rpt serve   <file.csv> [--addr A] [--max-batch N] [--checkpoint-dir DIR]
+//! rpt serve   <file.csv> [--addr A] [--max-batch N] [--checkpoint-dir DIR] [--quant]
+//! rpt quantize <model.json> <out.json>           offline int8 (quant-v1) conversion
 //! ```
 
 use std::fmt::Write as _;
@@ -303,6 +304,36 @@ pub fn cmd_match(path_a: &str, path_b: &str, threshold: f32) -> Result<String, C
     Ok(report)
 }
 
+/// `rpt quantize` — convert an f32 checkpoint (the format `rpt clean
+/// --save` writes) into a `quant-v1` checkpoint: the same f32 params plus
+/// a per-row int8 section for every linear weight, which `rpt serve
+/// --quant --load` attaches directly instead of requantizing at startup.
+/// Model-free: works on any checkpoint without rebuilding the
+/// architecture that produced it.
+pub fn cmd_quantize(input: &str, output: &str) -> Result<String, CliError> {
+    let json = std::fs::read_to_string(input)
+        .map_err(|e| CliError::Data(format!("cannot read checkpoint {input}: {e}")))?;
+    let store = serialize::load_params_any(&json)
+        .map_err(|e| CliError::Data(format!("checkpoint {input}: {e}")))?;
+    let qs = rpt_nn::build_quant_set(&store);
+    if qs.is_empty() {
+        return Err(CliError::Data(format!(
+            "checkpoint {input} has no quantizable linear weights"
+        )));
+    }
+    serialize::save_quant_file(&store, qs.iter_named(), output)
+        .map_err(|e| CliError::Data(format!("cannot write {output}: {e}")))?;
+    let n_linear = qs.len();
+    let tied = if qs.iter_named().count() > n_linear {
+        " + tied embedding"
+    } else {
+        ""
+    };
+    Ok(format!(
+        "quantized {n_linear} linear weight(s){tied} -> {output} (quant-v1)\n"
+    ))
+}
+
 /// The checkpoint file `rpt serve --checkpoint-dir` watches for
 /// hot-reload (the format `rpt clean --save` writes).
 pub const SERVE_MODEL_FILE: &str = "model.json";
@@ -320,6 +351,9 @@ pub struct ServeOptions {
     pub load: Option<String>,
     /// `--checkpoint-dir` — watch `DIR/model.json` for hot-reload.
     pub checkpoint_dir: Option<String>,
+    /// `--quant` — serve int8 quantized weights (`RPT_QUANT=1` also
+    /// enables it; the flag wins when given).
+    pub quant: bool,
 }
 
 impl Default for ServeOptions {
@@ -330,6 +364,7 @@ impl Default for ServeOptions {
             steps: 400,
             load: None,
             checkpoint_dir: None,
+            quant: false,
         }
     }
 }
@@ -347,11 +382,14 @@ pub fn cmd_serve(path: &str, opts: &ServeOptions) -> Result<String, CliError> {
             ..Default::default()
         },
     )?;
-    let (model, params) = model.into_serve_parts();
+    let (mut model, params) = model.into_serve_parts();
     let mut cfg = rpt_serve::ServeConfig {
         addr: opts.addr.clone(),
         ..Default::default()
     };
+    if opts.quant {
+        cfg.quant = true; // RPT_QUANT=1 set the default above; the flag wins
+    }
     if let Some(max_batch) = opts.max_batch {
         cfg.max_batch = max_batch.max(1);
     }
@@ -359,6 +397,28 @@ pub fn cmd_serve(path: &str, opts: &ServeOptions) -> Result<String, CliError> {
         std::fs::create_dir_all(dir)
             .map_err(|e| CliError::Data(format!("cannot create checkpoint dir {dir}: {e}")))?;
         cfg.checkpoint = Some(Path::new(dir).join(SERVE_MODEL_FILE));
+    }
+    if cfg.quant {
+        if let Some(path) = &opts.load {
+            // An `rpt quantize` output carries the int8 tensors; attach
+            // them so the server serves exactly the quantized file. A
+            // plain f32 checkpoint (or a stale section) falls through and
+            // the batcher requantizes from the loaded params.
+            match serialize::load_quant_file(path) {
+                Ok(Some(entries)) => match rpt_nn::quant_set_from_named(&params, entries) {
+                    Ok(qs) => model.set_quant(Some(std::sync::Arc::new(qs))),
+                    Err(e) => rpt_obs::warn!(
+                        target: "rpt_cli",
+                        "quant section in {path} rejected ({e}); requantizing"
+                    ),
+                },
+                Ok(None) => {}
+                Err(e) => rpt_obs::warn!(
+                    target: "rpt_cli",
+                    "quant section in {path} unreadable ({e}); requantizing"
+                ),
+            }
+        }
     }
     let server = rpt_serve::Server::start(model, params, cfg)
         .map_err(|e| CliError::Data(format!("cannot start server: {e}")))?;
@@ -383,6 +443,8 @@ pub enum Command {
     Match(String, String, f32),
     /// `rpt serve <csv> [flags]`
     Serve(String, ServeOptions),
+    /// `rpt quantize <model.json> <out.json>`
+    Quantize(String, String),
     /// `rpt help`
     Help,
 }
@@ -431,7 +493,8 @@ USAGE:
                          [--checkpoint-dir DIR] [--resume STATE]
   rpt match   <a.csv> <b.csv> [--threshold T]
   rpt serve   <file.csv> [--addr ADDR] [--max-batch N] [--steps N] [--load MODEL]
-                         [--checkpoint-dir DIR]
+                         [--checkpoint-dir DIR] [--quant]
+  rpt quantize <model.json> <out.json>
   rpt help
 
 Observability (any command):
@@ -441,6 +504,11 @@ Observability (any command):
   --progress            step ticker during training (info on rpt::progress)
   --metrics-out PATH    enable metrics; write a JSON snapshot to PATH
                         periodically and at exit
+
+Quantized serving: rpt quantize converts an f32 checkpoint into a
+quant-v1 one (f32 params + per-row int8 linear weights); rpt serve
+--quant (or RPT_QUANT=1) serves int8 — loading the stored section when
+--load points at a quant-v1 file, requantizing on the fly otherwise.
 
 Durable training: --checkpoint-dir DIR writes a rolling, atomically
 replaced DIR/train_state.json (params + Adam moments + RNG streams +
@@ -624,6 +692,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut i = 0;
             while i < rest.len() {
                 let flag = rest[i].as_str();
+                if flag == "--quant" {
+                    opts.quant = true;
+                    i += 1;
+                    continue;
+                }
                 let value = rest
                     .get(i + 1)
                     .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
@@ -651,6 +724,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Serve(path, opts))
         }
+        "quantize" => {
+            let input = it
+                .next()
+                .ok_or_else(|| CliError::Usage("quantize needs an input and an output".into()))?
+                .clone();
+            let output = it
+                .next()
+                .ok_or_else(|| CliError::Usage("quantize needs an input and an output".into()))?
+                .clone();
+            if let Some(extra) = it.next() {
+                return Err(CliError::Usage(format!("unexpected argument {extra}")));
+            }
+            Ok(Command::Quantize(input, output))
+        }
         other => Err(CliError::Usage(format!("unknown command {other}"))),
     }
 }
@@ -666,6 +753,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Detect(path, spec) => cmd_detect(&path, &spec.into()),
         Command::Match(a, b, t) => cmd_match(&a, &b, t),
         Command::Serve(path, opts) => cmd_serve(&path, &opts),
+        Command::Quantize(input, output) => cmd_quantize(&input, &output),
     }
 }
 
@@ -774,6 +862,7 @@ mod tests {
             "m.json",
             "--checkpoint-dir",
             "ckpt",
+            "--quant",
         ]))
         .unwrap();
         assert_eq!(
@@ -786,9 +875,43 @@ mod tests {
                     steps: 10,
                     load: Some("m.json".into()),
                     checkpoint_dir: Some("ckpt".into()),
+                    quant: true,
                 }
             )
         );
+    }
+
+    #[test]
+    fn parse_quant_flag_is_valueless() {
+        // --quant between value-taking flags must not swallow a value
+        let cmd = parse_args(&s(&["serve", "a.csv", "--quant", "--steps", "5"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(
+                "a.csv".into(),
+                ServeOptions {
+                    steps: 5,
+                    quant: true,
+                    ..ServeOptions::default()
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn parse_quantize() {
+        assert_eq!(
+            parse_args(&s(&["quantize", "m.json", "q8.json"])).unwrap(),
+            Command::Quantize("m.json".into(), "q8.json".into())
+        );
+        assert!(matches!(
+            parse_args(&s(&["quantize", "m.json"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["quantize", "m.json", "q8.json", "extra"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -993,5 +1116,61 @@ mod tests {
         )
         .unwrap();
         assert!(report.contains("suspicious cell(s)"));
+    }
+
+    #[test]
+    fn quantize_command_end_to_end() {
+        let dir = std::env::temp_dir().join("rpt-cli-test-quantize");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let model = dir.join("model.json");
+        let q8 = dir.join("model.q8.json");
+        let mut csv = String::from("brand,maker\n");
+        for _ in 0..6 {
+            csv.push_str("iphone,apple\ngalaxy,samsung\n");
+        }
+        std::fs::write(&path, &csv).unwrap();
+        cmd_clean(
+            path.to_str().unwrap(),
+            &CleanOptions {
+                steps: 20,
+                save: Some(model.to_str().unwrap().to_string()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        let report = cmd_quantize(model.to_str().unwrap(), q8.to_str().unwrap()).unwrap();
+        assert!(report.contains("quant-v1"), "{report}");
+
+        // The output carries both halves: an int8 section matching what
+        // requantizing the stored f32 params produces...
+        let entries = serialize::load_quant_file(&q8).unwrap().expect("quant section");
+        let store = serialize::load_params_any(&std::fs::read_to_string(&q8).unwrap()).unwrap();
+        let rebuilt = rpt_nn::build_quant_set(&store);
+        assert_eq!(entries.len(), rebuilt.iter_named().count());
+        for (name, qm) in entries.iter() {
+            let (_, expect) = rebuilt
+                .iter_named()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("unexpected quant tensor {name}"));
+            assert_eq!(qm.weights(), expect.weights(), "{name}: int8 payload differs");
+            assert_eq!(qm.scales(), expect.scales(), "{name}: scales differ");
+        }
+        // ...and f32 params a plain loader still accepts (quant-v1 is
+        // backward compatible).
+        let original = serialize::load_params_any(&std::fs::read_to_string(&model).unwrap()).unwrap();
+        for (name, t) in original.iter() {
+            let got = store.value(store.find(name).expect(name));
+            assert_eq!(got.data(), t.data(), "{name} f32 payload differs");
+        }
+
+        // A garbage input is a typed error, not a panic.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "not json").unwrap();
+        assert!(matches!(
+            cmd_quantize(bad.to_str().unwrap(), q8.to_str().unwrap()),
+            Err(CliError::Data(_))
+        ));
     }
 }

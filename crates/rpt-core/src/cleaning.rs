@@ -180,6 +180,18 @@ impl RptC {
         &self.cfg
     }
 
+    /// Turns int8 inference on (quantizing the current parameters per-row)
+    /// or off. Only the inference paths (`fill`, `reconstruct`) consult
+    /// the quantized weights; training always runs f32, so a model can be
+    /// trained, quantized for evaluation, and un-quantized freely.
+    pub fn set_quant_enabled(&mut self, on: bool) {
+        self.model.set_quant(if on {
+            Some(std::sync::Arc::new(rpt_nn::build_quant_set(&self.params)))
+        } else {
+            None
+        });
+    }
+
     /// Consumes the wrapper, yielding the owned seq2seq model and its
     /// parameters — the pair an inference server needs to take over
     /// (`rpt serve` hands these to `rpt_serve::Server::start`).

@@ -29,6 +29,7 @@ pub mod metrics;
 pub mod module;
 pub mod multidecode;
 pub(crate) mod obs;
+pub mod quant;
 pub mod schedule;
 pub mod seq2seq;
 pub mod transformer;
@@ -42,6 +43,7 @@ pub use decode::{
 };
 pub use module::{Ctx, Embedding, LayerNorm, Linear};
 pub use multidecode::{JobOutput, JobSpec, MicroBatcher};
+pub use quant::{build_quant_set, quant_set_from_named, QuantSet};
 pub use schedule::NoamSchedule;
 pub use seq2seq::{
     make_denoising_shards, DenoisingShard, IncrementalState, Seq2Seq, TransformerConfig,

@@ -7,7 +7,9 @@
 //! store memoizes parameter binding so each parameter appears once.
 
 use rpt_rng::RngCore;
-use rpt_tensor::{init, ParamId, ParamStore, Tape, Var};
+use rpt_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
+
+use crate::quant::QuantSet;
 
 /// Everything a forward pass needs for one step.
 pub struct Ctx<'a> {
@@ -19,6 +21,10 @@ pub struct Ctx<'a> {
     pub rng: &'a mut dyn RngCore,
     /// True during training (enables dropout).
     pub training: bool,
+    /// Int8 inference weights; when set (forward-only decode contexts),
+    /// [`Linear`] layers with a registered weight take the exact integer
+    /// kernel path instead of the f32 matmul.
+    pub quant: Option<&'a QuantSet>,
 }
 
 impl<'a> Ctx<'a> {
@@ -35,6 +41,7 @@ impl<'a> Ctx<'a> {
             params,
             rng,
             training,
+            quant: None,
         }
     }
 
@@ -93,7 +100,16 @@ impl Linear {
     }
 
     /// Applies the layer. Accepts `[n, d_in]` or `[b, t, d_in]`.
+    ///
+    /// When the context carries a [`QuantSet`] with an entry for this
+    /// layer's weight (inference decoding with `--quant`), the product
+    /// runs on the exact int8 kernel and re-enters the tape as a
+    /// constant; the bias add stays f32. Training tapes never carry a
+    /// quant set, so gradients are unaffected.
     pub fn forward(&self, ctx: &mut Ctx<'_>, x: Var) -> Var {
+        if let Some(qm) = ctx.quant.and_then(|q| q.linear(self.w)) {
+            return self.forward_quant(ctx, x, qm);
+        }
         let shape = ctx.tape.value(x).shape().to_vec();
         let w = ctx.p(self.w);
         let y = match shape.len() {
@@ -109,6 +125,35 @@ impl Linear {
             }
             d => panic!("Linear expects 2-d or 3-d input, got {d}-d"),
         };
+        match self.b {
+            Some(b) => {
+                let bv = ctx.p(b);
+                ctx.tape.add(y, bv)
+            }
+            None => y,
+        }
+    }
+
+    /// The int8 path of [`Self::forward`]: quantize activations per row,
+    /// integer matmul against the pre-quantized weight, rescale to f32.
+    fn forward_quant(&self, ctx: &mut Ctx<'_>, x: Var, qm: &rpt_tensor::QuantMatrix) -> Var {
+        assert!(
+            ctx.tape.is_forward_only(),
+            "quantized Linear requires a forward-only tape"
+        );
+        debug_assert_eq!(qm.k(), self.d_in, "quant weight inner dim mismatch");
+        debug_assert_eq!(qm.n_out(), self.d_out, "quant weight outer dim mismatch");
+        let xv = ctx.tape.value(x);
+        let shape = xv.shape().to_vec();
+        let (m, out_shape) = match shape.len() {
+            2 => (shape[0], vec![shape[0], self.d_out]),
+            3 => (shape[0] * shape[1], vec![shape[0], shape[1], self.d_out]),
+            d => panic!("Linear expects 2-d or 3-d input, got {d}-d"),
+        };
+        let y = qm.matmul_f32(xv.data(), m);
+        let y = ctx
+            .tape
+            .constant(Tensor::from_vec(y, &out_shape).expect("quant linear shape"));
         match self.b {
             Some(b) => {
                 let bv = ctx.p(b);

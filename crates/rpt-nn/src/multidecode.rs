@@ -507,6 +507,35 @@ impl MicroBatcher {
         });
     }
 
+    /// Cancels an admitted job (a client that vanished mid-decode),
+    /// immediately reclaiming its cache slot: the job's rows are dropped
+    /// through the same gather that applies beam reordering, and the
+    /// common lead pad is re-trimmed. Remaining jobs are unaffected —
+    /// every fused op is row-independent, so their outputs stay
+    /// bit-identical. Returns false when `id` is not resident (never
+    /// admitted, already finished, or already cancelled).
+    pub fn cancel(&mut self, id: u64) -> bool {
+        let Some(at) = self.slots.iter().position(|s| s.id == id) else {
+            return false;
+        };
+        let mut keep_rows: Vec<usize> = Vec::new();
+        let mut base = 0usize;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if i != at {
+                keep_rows.extend(base..base + slot.width);
+            }
+            base += slot.width;
+        }
+        self.slots.remove(at);
+        if self.slots.is_empty() {
+            self.reset();
+            return true;
+        }
+        self.select_rows(&keep_rows);
+        self.compact();
+        true
+    }
+
     /// Advances every live job by one token (one fused decoder step) and
     /// returns the jobs that finished, tagged by admission id. Jobs that
     /// finish without needing compute (exhausted budgets) are returned
@@ -1069,6 +1098,114 @@ mod tests {
         assert_eq!(expect_greedy(&results[0].1), single.as_slice());
         assert!(single.is_empty());
         assert!(mb.is_idle());
+    }
+
+    #[test]
+    fn cancel_reclaims_slot_and_leaves_survivors_bit_identical() {
+        let (model, mut params) = trained_copy_model();
+        let cfg = BeamConfig {
+            width: 4,
+            max_steps: 8,
+            len_penalty: 1.0,
+        };
+        let g_want = greedy_decode(&model, &mut params, &src_of(&[9, 10, 11]), BOS, EOS, 8);
+        let g3_want = greedy_decode(&model, &mut params, &src_of(&[11, 9]), BOS, EOS, 8);
+
+        let mut mb = MicroBatcher::new(&model, &mut params);
+        mb.admit(
+            &model,
+            &mut params,
+            1,
+            JobSpec::Greedy {
+                src: src_of(&[9, 10, 11]),
+                bos: BOS,
+                eos: EOS,
+                max_steps: 8,
+            },
+        );
+        mb.admit(
+            &model,
+            &mut params,
+            2,
+            JobSpec::Beam {
+                src: src_of(&[10, 9]),
+                bos: BOS,
+                eos: EOS,
+                cfg: cfg.clone(),
+            },
+        );
+        mb.admit(
+            &model,
+            &mut params,
+            3,
+            JobSpec::Greedy {
+                src: src_of(&[11, 9]),
+                bos: BOS,
+                eos: EOS,
+                max_steps: 8,
+            },
+        );
+        // Two fused steps in, the middle job's client disconnects. Its
+        // beam occupies multiple rows by now — the gather has to close a
+        // multi-row hole.
+        let mut results = Vec::new();
+        results.extend(mb.step(&model, &mut params));
+        results.extend(mb.step(&model, &mut params));
+        let rows_before = mb.rows();
+        assert!(mb.cancel(2), "resident job must cancel");
+        assert_eq!(mb.slots_in_use(), 2);
+        assert!(mb.rows() < rows_before, "cancel must reclaim rows");
+        assert!(!mb.cancel(2), "double-cancel is a no-op");
+        assert!(!mb.cancel(99), "unknown id is a no-op");
+        results.extend(drain(&mut mb, &model, &mut params));
+        results.sort_by_key(|(id, _)| *id);
+        assert_eq!(results.len(), 2, "cancelled job must not produce output");
+        assert_eq!(results[0].0, 1);
+        assert_eq!(expect_greedy(&results[0].1), g_want.as_slice());
+        assert_eq!(results[1].0, 3);
+        assert_eq!(expect_greedy(&results[1].1), g3_want.as_slice());
+        assert_eq!(mb.rows(), 0);
+        assert!(mb.is_idle());
+    }
+
+    #[test]
+    fn cancelling_every_job_resets_the_batcher() {
+        let (model, mut params) = trained_copy_model();
+        let want = greedy_decode(&model, &mut params, &src_of(&[10, 11]), BOS, EOS, 8);
+        let mut mb = MicroBatcher::new(&model, &mut params);
+        for id in 0..3u64 {
+            mb.admit(
+                &model,
+                &mut params,
+                id,
+                JobSpec::Greedy {
+                    src: src_of(&[10, 11]),
+                    bos: BOS,
+                    eos: EOS,
+                    max_steps: 8,
+                },
+            );
+        }
+        mb.step(&model, &mut params);
+        for id in 0..3u64 {
+            assert!(mb.cancel(id));
+        }
+        assert!(mb.is_idle());
+        assert_eq!(mb.rows(), 0);
+        // The reset batcher must accept and serve fresh work identically.
+        mb.admit(
+            &model,
+            &mut params,
+            7,
+            JobSpec::Greedy {
+                src: src_of(&[10, 11]),
+                bos: BOS,
+                eos: EOS,
+                max_steps: 8,
+            },
+        );
+        let results = drain(&mut mb, &model, &mut params);
+        assert_eq!(expect_greedy(&results[0].1), want.as_slice());
     }
 
     #[test]

@@ -91,6 +91,10 @@ pub struct Seq2Seq {
     col_emb: Option<Embedding>,
     encoder: Encoder,
     decoder: Decoder,
+    /// Int8 inference weights, attached to every forward-only decode
+    /// context this model creates. `None` (the default) keeps every path
+    /// f32; training paths ignore it entirely.
+    quant: Option<std::sync::Arc<crate::quant::QuantSet>>,
 }
 
 impl Seq2Seq {
@@ -127,12 +131,35 @@ impl Seq2Seq {
             col_emb,
             encoder,
             decoder,
+            quant: None,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &TransformerConfig {
         &self.cfg
+    }
+
+    /// Attaches (or clears) an int8 inference weight set. Subsequent
+    /// [`Self::begin_decode`] / [`Self::begin_request`] /
+    /// [`Self::decode_step_rows`] calls — and therefore every
+    /// [`crate::MicroBatcher`] driving this model — run dense layers and
+    /// the tied projection on the exact integer kernels. Training and the
+    /// uncached `*_reference` decode paths stay f32.
+    pub fn set_quant(&mut self, quant: Option<std::sync::Arc<crate::quant::QuantSet>>) {
+        self.quant = quant;
+    }
+
+    /// The attached int8 weight set, if any.
+    pub fn quant(&self) -> Option<&crate::quant::QuantSet> {
+        self.quant.as_deref()
+    }
+
+    /// Builds the int8 weight set for this model's parameters — every
+    /// dense-layer weight plus the tied table (see
+    /// [`crate::quant::build_quant_set`]). Does not attach it.
+    pub fn build_quant_set(&self, params: &ParamStore) -> crate::quant::QuantSet {
+        crate::quant::build_quant_set(params)
     }
 
     fn position_ids(&self, b: usize, t: usize) -> Vec<usize> {
@@ -275,6 +302,7 @@ impl Seq2Seq {
         let tape = Tape::inference();
         let mut rng = SmallRng::seed_from_u64(0);
         let mut ctx = Ctx::new(&tape, params, &mut rng, false);
+        ctx.quant = self.quant.as_deref();
         let enc = self.encode(&mut ctx, src);
         let layers = self.decoder.begin_cache(&mut ctx, enc);
         let cross_mask_row = (0..src.t)
@@ -358,6 +386,7 @@ impl Seq2Seq {
         let tape = Tape::inference();
         let mut rng = SmallRng::seed_from_u64(0);
         let mut ctx = Ctx::new(&tape, params, &mut rng, false);
+        ctx.quant = self.quant.as_deref();
         let tok = self.tok_emb.forward_batch(&mut ctx, tokens, b, 1);
         let pos = self.pos_emb.forward_batch(&mut ctx, positions, b, 1);
         let x = ctx.tape.add(tok, pos);
@@ -366,6 +395,15 @@ impl Seq2Seq {
             .decoder
             .forward_step(&mut ctx, x, layers, self_mask, Some(cross_mask));
         let flat = ctx.tape.reshape(h, &[b, self.cfg.d_model]);
+        // The tied projection: `h · Eᵀ` against the quantized table when a
+        // quant set is attached (`E`'s rows are the output channels, so the
+        // row-major [`rpt_tensor::QuantMatrix`] applies directly), else the
+        // materialized f32 `Eᵀ`.
+        if let Some(tied) = self.quant.as_deref().and_then(|q| q.tied()) {
+            let fv = ctx.tape.value(flat);
+            return Tensor::from_vec(tied.matmul_f32(fv.data(), b), &[b, self.cfg.vocab_size])
+                .expect("quant logits shape");
+        }
         let et = ctx.tape.constant(et.clone());
         let logits = ctx.tape.matmul(flat, et);
         ctx.tape.value(logits)

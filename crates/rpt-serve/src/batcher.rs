@@ -28,10 +28,21 @@ use rpt_tensor::ParamStore;
 use crate::obs::SERVE_OBS;
 
 /// One queued decode request: the job plus the channel its result goes
-/// back on, tagged with the parameter generation that served it.
+/// back on, tagged with the parameter generation that served it. The
+/// connection handler raises `cancel` when its client vanishes; the
+/// batcher then reclaims the job's KV slot instead of decoding for
+/// nobody.
 pub(crate) struct Job {
     pub spec: JobSpec,
     pub resp: SyncSender<(u64, JobOutput)>,
+    pub cancel: Arc<AtomicBool>,
+}
+
+/// An admitted job awaiting completion.
+struct PendingJob {
+    id: u64,
+    resp: SyncSender<(u64, JobOutput)>,
+    cancel: Arc<AtomicBool>,
 }
 
 /// State shared between connection handlers and the batcher thread.
@@ -49,10 +60,12 @@ pub(crate) struct Batcher {
     params: ParamStore,
     mb: MicroBatcher,
     rx: Receiver<Job>,
-    /// Result channel per admitted job id.
-    pending: Vec<(u64, SyncSender<(u64, JobOutput)>)>,
+    /// Result channel + cancel flag per admitted job id.
+    pending: Vec<PendingJob>,
     next_id: u64,
     max_batch: usize,
+    /// Serve int8 quantized weights (rebuilt on every hot-reload).
+    quant: bool,
     checkpoint: Option<PathBuf>,
     seen_stat: Option<(SystemTime, u64)>,
     reload_pending: bool,
@@ -61,15 +74,24 @@ pub(crate) struct Batcher {
 }
 
 impl Batcher {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
-        model: Seq2Seq,
+        mut model: Seq2Seq,
         mut params: ParamStore,
         rx: Receiver<Job>,
         max_batch: usize,
         checkpoint: Option<PathBuf>,
         poll: Duration,
+        quant: bool,
         shared: Arc<BatcherShared>,
     ) -> Self {
+        if quant && model.quant().is_none() {
+            // The caller handed plain f32 weights; quantize in place. A
+            // caller that loaded a `quant-v1` checkpoint attaches the
+            // stored int8 tensors itself before starting the server.
+            model.set_quant(Some(Arc::new(rpt_nn::build_quant_set(&params))));
+        }
+        SERVE_OBS.quant.set(if quant { 1.0 } else { 0.0 });
         let mb = MicroBatcher::new(&model, &mut params);
         let seen_stat = checkpoint.as_deref().and_then(stat);
         SERVE_OBS.model_generation.set(0.0);
@@ -81,6 +103,7 @@ impl Batcher {
             pending: Vec::new(),
             next_id: 0,
             max_batch,
+            quant,
             checkpoint,
             seen_stat,
             reload_pending: false,
@@ -109,8 +132,27 @@ impl Batcher {
                 continue;
             }
             self.check_stat();
+            self.reap_cancelled();
             self.step();
         }
+    }
+
+    /// Drops jobs whose clients vanished: the KV slot is reclaimed
+    /// before the next fused step instead of decoding to completion for
+    /// nobody. Survivor outputs are unaffected (row independence).
+    fn reap_cancelled(&mut self) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].cancel.load(Ordering::Relaxed) {
+                let job = self.pending.swap_remove(i);
+                if self.mb.cancel(job.id) {
+                    SERVE_OBS.cancelled.inc();
+                }
+            } else {
+                i += 1;
+            }
+        }
+        SERVE_OBS.kv_slots_in_use.set(self.mb.slots_in_use() as f64);
     }
 
     /// Admits queued jobs up to the batch cap (none while draining for a
@@ -129,10 +171,20 @@ impl Batcher {
     fn admit(&mut self, job: Job) {
         let depth = self.shared.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
         SERVE_OBS.queue_depth.set(depth as f64);
+        if job.cancel.load(Ordering::Relaxed) {
+            // The client gave up while the job sat in the queue: don't
+            // pay for the encode at all.
+            SERVE_OBS.cancelled.inc();
+            return;
+        }
         let id = self.next_id;
         self.next_id += 1;
         self.mb.admit(&self.model, &mut self.params, id, job.spec);
-        self.pending.push((id, job.resp));
+        self.pending.push(PendingJob {
+            id,
+            resp: job.resp,
+            cancel: job.cancel,
+        });
         SERVE_OBS.kv_slots_in_use.set(self.mb.slots_in_use() as f64);
     }
 
@@ -145,11 +197,11 @@ impl Batcher {
         let finished = self.mb.step(&self.model, &mut self.params);
         let generation = self.shared.generation.load(Ordering::Relaxed);
         for (id, out) in finished {
-            if let Some(at) = self.pending.iter().position(|(pid, _)| *pid == id) {
-                let (_, resp) = self.pending.swap_remove(at);
+            if let Some(at) = self.pending.iter().position(|p| p.id == id) {
+                let job = self.pending.swap_remove(at);
                 // A handler that gave up (client vanished) just drops the
                 // receiver; the send error is fine to ignore.
-                let _ = resp.try_send((generation, out));
+                let _ = job.resp.try_send((generation, out));
             }
         }
         SERVE_OBS.kv_slots_in_use.set(self.mb.slots_in_use() as f64);
@@ -178,6 +230,9 @@ impl Batcher {
         match load_file(&mut candidate, path) {
             Ok(()) => {
                 self.params = candidate;
+                if self.quant {
+                    self.model.set_quant(Some(Arc::new(self.quant_set_for(path))));
+                }
                 self.mb = MicroBatcher::new(&self.model, &mut self.params);
                 let generation = self.shared.generation.fetch_add(1, Ordering::Relaxed) + 1;
                 SERVE_OBS.model_generation.set(generation as f64);
@@ -189,6 +244,27 @@ impl Batcher {
                 rpt_obs::warn!(target: "serve", "checkpoint reload rejected: {e}");
             }
         }
+    }
+
+    /// The int8 weight set for a freshly reloaded checkpoint: the file's
+    /// `quant-v1` section when it carries one (an `rpt quantize` output),
+    /// otherwise requantized from the loaded f32 parameters. Both paths
+    /// are deterministic functions of the same weights, so either way the
+    /// serving output is the quantized model of *this* checkpoint.
+    fn quant_set_for(&self, path: &std::path::Path) -> rpt_nn::QuantSet {
+        match rpt_tensor::serialize::load_quant_file(path) {
+            Ok(Some(entries)) => match rpt_nn::quant_set_from_named(&self.params, entries) {
+                Ok(qs) => return qs,
+                Err(e) => {
+                    rpt_obs::warn!(target: "serve", "stored quant section rejected ({e}); requantizing");
+                }
+            },
+            Ok(None) => {}
+            Err(e) => {
+                rpt_obs::warn!(target: "serve", "stored quant section unreadable ({e}); requantizing");
+            }
+        }
+        rpt_nn::build_quant_set(&self.params)
     }
 }
 

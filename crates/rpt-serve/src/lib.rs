@@ -15,13 +15,23 @@
 //! | `POST /v1/clean` | `{"src": [ids], "mode": "greedy"\|"beam", …}` | decoded tokens / hypotheses |
 //! | `POST /v1/detect` | `{"src": [ids]}` | per-token log-probs of the row itself |
 //! | `POST /v1/match` | `{"src": [ids], "targets": [ids]}` | log-prob of `targets` given `src` |
-//! | `GET /healthz` | — | `{"status":"ok","model_generation":n}` |
+//! | `GET /healthz` | — | `{"status":"ok","model_generation":n,"quant":b}` |
 //! | `GET /metrics` | — | the [`rpt_obs::snapshot`] document |
+//!
+//! Connections are pipelined: every complete request in a connection's
+//! buffer is parsed and submitted to the batcher immediately (responses
+//! still go back in request order), so back-to-back decodes on one
+//! socket coalesce into fused batches and a slow reader never stalls
+//! batch formation. A client that disconnects mid-decode has its jobs
+//! cancelled and their KV slots reclaimed before the next fused step.
 //!
 //! Decode requests past the bounded queue are rejected with
 //! `503` + `Retry-After: 1`. The checkpoint named in
 //! [`ServeConfig::checkpoint`] is hot-reloaded when its file changes
 //! (atomic-rename writes only; torn files are rejected harmlessly).
+//! With [`ServeConfig::quant`] (`--quant` / `RPT_QUANT=1`) the batcher
+//! serves int8 quantized weights — stored `quant-v1` tensors when the
+//! reloaded checkpoint carries them, otherwise quantized at load.
 
 pub mod api;
 mod batcher;
@@ -68,6 +78,11 @@ pub struct ServeConfig {
     pub max_header_bytes: usize,
     /// 413 ceiling for request bodies, bytes.
     pub max_body_bytes: usize,
+    /// Serve int8 quantized weights (`RPT_QUANT=1`, default off). The
+    /// batcher attaches a quant set built from the live parameters —
+    /// or the `quant-v1` section of a reloaded checkpoint — and every
+    /// decode runs through the exact integer kernels.
+    pub quant: bool,
 }
 
 impl Default for ServeConfig {
@@ -84,12 +99,17 @@ impl Default for ServeConfig {
             read_timeout_ms: 50,
             max_header_bytes: http::DEFAULT_MAX_HEADER_BYTES,
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+            quant: env_flag("RPT_QUANT"),
         }
     }
 }
 
 fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok()?.parse().ok()
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map_or(false, |v| v == "1" || v.eq_ignore_ascii_case("true"))
 }
 
 struct Shared {
@@ -130,6 +150,7 @@ impl Server {
             cfg.max_batch,
             cfg.checkpoint.clone(),
             Duration::from_millis(cfg.reload_poll_ms.max(1)),
+            cfg.quant,
             Arc::clone(&state),
         );
         let batcher = std::thread::Builder::new()
@@ -219,6 +240,39 @@ impl Drop for Server {
     }
 }
 
+/// Hard cap on responses owed to one connection. A client pipelining
+/// past it simply stops being read until the head of the line drains.
+const MAX_PIPELINED: usize = 64;
+
+/// One response owed to the client, in request order.
+enum Outcome {
+    /// Computed synchronously (health, metrics, parse errors, 503s).
+    Ready(Response, bool),
+    /// A decode job in flight on the batcher.
+    Pending {
+        rx: std::sync::mpsc::Receiver<(u64, rpt_nn::JobOutput)>,
+        cancel: Arc<AtomicBool>,
+        keep_alive: bool,
+        started: std::time::Instant,
+    },
+}
+
+/// What routing produced before it was queued for the client.
+enum Routed {
+    Ready(Response),
+    Pending {
+        rx: std::sync::mpsc::Receiver<(u64, rpt_nn::JobOutput)>,
+        cancel: Arc<AtomicBool>,
+    },
+}
+
+/// The connection loop pipelines: every complete request in the buffer
+/// is parsed, validated, and submitted to the batcher *immediately*, so
+/// pipelined decodes coalesce into one fused batch instead of
+/// serializing on the previous response — and a slow reader never stalls
+/// batch formation for other connections. Responses are written strictly
+/// in request order. When the client vanishes mid-decode, every owed
+/// job's cancel flag is raised and the batcher reclaims the KV slots.
 fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(
         shared.cfg.read_timeout_ms.max(1),
@@ -226,27 +280,116 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let mut parser = RequestParser::new(shared.cfg.max_header_bytes, shared.cfg.max_body_bytes);
     let mut buf = [0u8; 4096];
+    let mut inflight: std::collections::VecDeque<Outcome> = std::collections::VecDeque::new();
+    // Set once a `connection: close` request or a parse error arrives:
+    // the outcome queue is complete, nothing more will be read.
+    let mut closing = false;
     loop {
-        match parser.next_request() {
-            Ok(Parsed::Request(req)) => {
-                let span = SERVE_OBS.request_ms.time();
-                let resp = dispatch(&req, &shared);
-                drop(span);
-                if resp.write_to(&mut stream, req.keep_alive).is_err() || !req.keep_alive {
-                    return;
+        // 1. Submit every complete buffered request.
+        while !closing && inflight.len() < MAX_PIPELINED {
+            match parser.next_request() {
+                Ok(Parsed::Request(req)) => {
+                    closing = !req.keep_alive;
+                    inflight.push_back(dispatch(&req, &shared));
                 }
-                continue;
+                Ok(Parsed::NeedMore) => break,
+                Err(e) => {
+                    // Still answer everything owed before the error; the
+                    // error response then closes the connection.
+                    SERVE_OBS.errors.inc();
+                    inflight.push_back(Outcome::Ready(
+                        Response::error(e.status(), e.code(), e.message()),
+                        false,
+                    ));
+                    closing = true;
+                }
             }
-            Ok(Parsed::NeedMore) => {}
-            Err(e) => {
-                SERVE_OBS.errors.inc();
-                let _ =
-                    Response::error(e.status(), e.code(), e.message()).write_to(&mut stream, false);
+        }
+
+        // 2. Write responses that are ready at the head of the line.
+        while let Some(front) = inflight.front_mut() {
+            let (resp, keep_alive) = match front {
+                Outcome::Ready(..) => match inflight.pop_front() {
+                    Some(Outcome::Ready(resp, ka)) => (resp, ka),
+                    _ => unreachable!("front was Ready"),
+                },
+                Outcome::Pending {
+                    rx,
+                    keep_alive,
+                    started,
+                    ..
+                } => {
+                    let out = match rx.try_recv() {
+                        Ok((generation, out)) => {
+                            SERVE_OBS
+                                .request_ms
+                                .record(started.elapsed().as_secs_f64() * 1e3);
+                            Response::json(200, api::render_output(&out, generation))
+                        }
+                        Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                        Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                            Response::error(500, "internal", "batcher dropped the request")
+                        }
+                    };
+                    let ka = *keep_alive;
+                    inflight.pop_front();
+                    (out, ka)
+                }
+            };
+            if resp.write_to(&mut stream, keep_alive).is_err() {
+                cancel_all(&mut inflight);
+                return;
+            }
+            if !keep_alive {
+                cancel_all(&mut inflight);
                 return;
             }
         }
+
+        // 3. Wait for progress. A pending head is waited on directly
+        // (zero added latency when the decode lands); otherwise block on
+        // the socket for the next request.
+        if let Some(Outcome::Pending { rx, .. }) = inflight.front() {
+            match rx.recv_timeout(Duration::from_millis(shared.cfg.read_timeout_ms.max(1))) {
+                Ok((generation, out)) => {
+                    let resp = Response::json(200, api::render_output(&out, generation));
+                    if let Some(Outcome::Pending {
+                        keep_alive,
+                        started,
+                        ..
+                    }) = inflight.front()
+                    {
+                        SERVE_OBS
+                            .request_ms
+                            .record(started.elapsed().as_secs_f64() * 1e3);
+                        let ka = *keep_alive;
+                        *inflight.front_mut().unwrap() = Outcome::Ready(resp, ka);
+                    }
+                    continue; // flush it right away
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                    if let Some(Outcome::Pending { keep_alive, .. }) = inflight.front() {
+                        let ka = *keep_alive;
+                        *inflight.front_mut().unwrap() = Outcome::Ready(
+                            Response::error(500, "internal", "batcher dropped the request"),
+                            ka,
+                        );
+                    }
+                    continue;
+                }
+            }
+        }
+        if closing {
+            // Everything owed is queued; don't read — just drain.
+            continue;
+        }
         match stream.read(&mut buf) {
-            Ok(0) => return,
+            Ok(0) => {
+                // Client hung up; decoding for it would be wasted work.
+                cancel_all(&mut inflight);
+                return;
+            }
             Ok(n) => parser.feed(&buf[..n]),
             Err(e)
                 if matches!(
@@ -254,53 +397,89 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                if shared.state.shutdown.load(Ordering::Relaxed) {
+                if shared.state.shutdown.load(Ordering::Relaxed) && inflight.is_empty() {
                     return;
                 }
             }
-            Err(_) => return,
+            Err(_) => {
+                cancel_all(&mut inflight);
+                return;
+            }
         }
     }
 }
 
-fn dispatch(req: &Request, shared: &Shared) -> Response {
-    SERVE_OBS.requests.inc();
-    let resp = route(req, shared);
-    if resp.status >= 400 && resp.status != 503 {
-        SERVE_OBS.errors.inc();
+/// Raises the cancel flag of every decode still owed to a vanished
+/// client; the batcher reclaims their KV slots before its next step.
+fn cancel_all(inflight: &mut std::collections::VecDeque<Outcome>) {
+    for outcome in inflight.drain(..) {
+        if let Outcome::Pending { cancel, .. } = outcome {
+            cancel.store(true, Ordering::Relaxed);
+        }
     }
-    resp
 }
 
-fn route(req: &Request, shared: &Shared) -> Response {
+fn dispatch(req: &Request, shared: &Shared) -> Outcome {
+    SERVE_OBS.requests.inc();
+    let started = std::time::Instant::now();
+    match route(req, shared) {
+        Routed::Ready(resp) => {
+            if resp.status >= 400 && resp.status != 503 {
+                SERVE_OBS.errors.inc();
+            }
+            SERVE_OBS
+                .request_ms
+                .record(started.elapsed().as_secs_f64() * 1e3);
+            Outcome::Ready(resp, req.keep_alive)
+        }
+        Routed::Pending { rx, cancel } => Outcome::Pending {
+            rx,
+            cancel,
+            keep_alive: req.keep_alive,
+            started,
+        },
+    }
+}
+
+fn route(req: &Request, shared: &Shared) -> Routed {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let generation = shared.state.generation.load(Ordering::Relaxed);
-            Response::json(
+            Routed::Ready(Response::json(
                 200,
-                rpt_json::json!({"status": "ok", "model_generation": generation}).to_string(),
-            )
+                rpt_json::json!({
+                    "status": "ok",
+                    "model_generation": generation,
+                    "quant": shared.cfg.quant,
+                })
+                .to_string(),
+            ))
         }
-        ("GET", "/metrics") => Response::json(200, rpt_obs::snapshot().to_string_pretty()),
+        ("GET", "/metrics") => Routed::Ready(Response::json(
+            200,
+            rpt_obs::snapshot().to_string_pretty(),
+        )),
         ("POST", "/v1/clean") => submit(api::parse_clean(&req.body, &shared.model_cfg), shared),
         ("POST", "/v1/detect") => submit(api::parse_detect(&req.body, &shared.model_cfg), shared),
         ("POST", "/v1/match") => submit(api::parse_match(&req.body, &shared.model_cfg), shared),
-        (_, "/healthz" | "/metrics" | "/v1/clean" | "/v1/detect" | "/v1/match") => {
-            Response::error(405, "method_not_allowed", "wrong method for this route")
-        }
-        _ => Response::error(404, "not_found", "unknown route"),
+        (_, "/healthz" | "/metrics" | "/v1/clean" | "/v1/detect" | "/v1/match") => Routed::Ready(
+            Response::error(405, "method_not_allowed", "wrong method for this route"),
+        ),
+        _ => Routed::Ready(Response::error(404, "not_found", "unknown route")),
     }
 }
 
-/// Queues a decode job and blocks this connection's thread until the
-/// batcher answers (the batcher never parks a job: every admitted job is
-/// stepped to completion, so this wait is bounded by decode time).
-fn submit(spec: Result<rpt_nn::JobSpec, api::ApiError>, shared: &Shared) -> Response {
+/// Queues a decode job without blocking: the caller holds the receiver
+/// and answers the client when the batcher delivers (responses stay in
+/// request order; the wait is bounded by decode time because the batcher
+/// never parks an admitted job).
+fn submit(spec: Result<rpt_nn::JobSpec, api::ApiError>, shared: &Shared) -> Routed {
     let spec = match spec {
         Ok(spec) => spec,
-        Err(e) => return Response::error(400, e.code, &e.message),
+        Err(e) => return Routed::Ready(Response::error(400, e.code, &e.message)),
     };
     let (resp_tx, resp_rx) = sync_channel(1);
+    let cancel = Arc::new(AtomicBool::new(false));
     // Count the job before sending it so the batcher's decrement (which
     // happens-after the send) can never observe an un-incremented depth.
     let depth = shared.state.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
@@ -308,22 +487,26 @@ fn submit(spec: Result<rpt_nn::JobSpec, api::ApiError>, shared: &Shared) -> Resp
     match shared.tx.try_send(Job {
         spec,
         resp: resp_tx,
+        cancel: Arc::clone(&cancel),
     }) {
-        Ok(()) => {}
+        Ok(()) => Routed::Pending {
+            rx: resp_rx,
+            cancel,
+        },
         Err(TrySendError::Full(_)) => {
             shared.state.queue_depth.fetch_sub(1, Ordering::Relaxed);
             SERVE_OBS.rejected.inc();
             let mut resp = Response::error(503, "queue_full", "decode queue is full; retry");
             resp.headers.push(("retry-after", "1".to_string()));
-            return resp;
+            Routed::Ready(resp)
         }
         Err(TrySendError::Disconnected(_)) => {
             shared.state.queue_depth.fetch_sub(1, Ordering::Relaxed);
-            return Response::error(503, "shutting_down", "server is shutting down");
+            Routed::Ready(Response::error(
+                503,
+                "shutting_down",
+                "server is shutting down",
+            ))
         }
-    }
-    match resp_rx.recv() {
-        Ok((generation, out)) => Response::json(200, api::render_output(&out, generation)),
-        Err(_) => Response::error(500, "internal", "batcher dropped the request"),
     }
 }

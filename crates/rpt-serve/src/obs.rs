@@ -29,6 +29,11 @@ pub(crate) struct ServeObs {
     pub reload_errors: rpt_obs::Counter,
     /// Monotonic parameter-set generation (0 = the weights served first).
     pub model_generation: rpt_obs::Gauge,
+    /// Jobs cancelled mid-decode (client disconnected); their KV slots
+    /// are reclaimed immediately.
+    pub cancelled: rpt_obs::Counter,
+    /// 1 when the batcher serves int8 quantized weights, else 0.
+    pub quant: rpt_obs::Gauge,
 }
 
 pub(crate) static SERVE_OBS: LazyLock<ServeObs> = LazyLock::new(|| ServeObs {
@@ -44,4 +49,6 @@ pub(crate) static SERVE_OBS: LazyLock<ServeObs> = LazyLock::new(|| ServeObs {
     reloads: rpt_obs::counter("serve.reloads"),
     reload_errors: rpt_obs::counter("serve.reload_errors"),
     model_generation: rpt_obs::gauge("serve.model_generation"),
+    cancelled: rpt_obs::counter("serve.cancelled"),
+    quant: rpt_obs::gauge("serve.quant"),
 });

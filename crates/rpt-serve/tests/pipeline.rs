@@ -1,0 +1,208 @@
+//! Connection-level pipelining and mid-decode cancellation.
+//!
+//! * Pipelined requests on one keep-alive connection are parsed and
+//!   submitted immediately — they coalesce in the batcher instead of
+//!   serializing on the previous response — and the responses come back
+//!   strictly in request order, byte-identical to one-at-a-time requests.
+//! * A client that disconnects mid-decode has its jobs cancelled and the
+//!   KV-cache slots reclaimed: a soak of submit-and-vanish clients must
+//!   leave `serve.kv_slots_in_use` at zero and the server healthy.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use rpt_serve::{ServeConfig, Server};
+
+/// Reads `n` back-to-back responses off one connection, preserving bytes
+/// that belong to later responses (`common::read_response` is
+/// one-response-per-connection and would discard them).
+fn read_responses(stream: &mut TcpStream, n: usize) -> Vec<(u16, String)> {
+    let mut raw: Vec<u8> = Vec::new();
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    while out.len() < n {
+        while let Some(at) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&raw[..at]).expect("utf-8 headers").to_string();
+            let status: u16 = head
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("bad status line: {head:?}"));
+            let content_length: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (name, value) = l.split_once(':')?;
+                    name.eq_ignore_ascii_case("content-length")
+                        .then(|| value.trim().parse().ok())?
+                })
+                .expect("content-length header");
+            let total = at + 4 + content_length;
+            if raw.len() < total {
+                break;
+            }
+            let body = String::from_utf8(raw[at + 4..total].to_vec()).expect("utf-8 body");
+            raw.drain(..total);
+            out.push((status, body));
+            if out.len() == n {
+                return out;
+            }
+        }
+        let n_read = stream.read(&mut buf).expect("read responses");
+        assert!(
+            n_read > 0,
+            "connection closed after {} of {n} responses",
+            out.len()
+        );
+        raw.extend_from_slice(&buf[..n_read]);
+    }
+    out
+}
+
+fn cfg(max_batch: usize, queue_cap: usize) -> ServeConfig {
+    ServeConfig {
+        max_batch,
+        queue_cap,
+        reload_poll_ms: 5,
+        read_timeout_ms: 5,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_and_match_serial_requests() {
+    let _guard = common::serial();
+    let (model, params) = common::tiny_model(3);
+    let server = Server::start(model, params, cfg(8, 16)).expect("start");
+    let addr = server.addr();
+
+    let bodies: Vec<String> = (0..6)
+        .map(|i| format!(r#"{{"src": [{}, {}], "max_steps": 6}}"#, 9 + i % 3, 9 + (i + 1) % 3))
+        .collect();
+    // Ground truth: the same requests one connection each.
+    let serial: Vec<(u16, String)> = bodies
+        .iter()
+        .map(|b| common::request(addr, "POST", "/v1/clean", b))
+        .collect();
+
+    // Pipelined: write every request up front, then read the responses.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    for (i, body) in bodies.iter().enumerate() {
+        let connection = if i + 1 == bodies.len() { "close" } else { "keep-alive" };
+        write!(
+            stream,
+            "POST /v1/clean HTTP/1.1\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write request");
+    }
+    let piped = read_responses(&mut stream, bodies.len());
+
+    for (i, ((ps, pb), (ss, sb))) in piped.iter().zip(&serial).enumerate() {
+        assert_eq!(ps, ss, "status mismatch on pipelined request {i}: {pb}");
+        assert_eq!(pb, sb, "body mismatch on pipelined request {i}");
+    }
+    server.shutdown();
+    assert_eq!(rpt_obs::gauge("serve.kv_slots_in_use").value(), 0.0);
+}
+
+#[test]
+fn disconnect_mid_decode_reclaims_kv_slots() {
+    let _guard = common::serial();
+    // A wider/deeper model than the plumbing default so each decode takes
+    // long enough for the disconnect to land mid-flight.
+    let (model, params) = {
+        use rpt_nn::{Seq2Seq, TransformerConfig};
+        use rpt_rng::{SeedableRng, SmallRng};
+        let mut params = rpt_tensor::ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let cfg = TransformerConfig {
+            vocab_size: 32,
+            dropout: 0.0,
+            ..TransformerConfig::default()
+        };
+        let model = Seq2Seq::new(&mut params, cfg, &mut rng);
+        (model, params)
+    };
+    let server = Server::start(model, params, cfg(4, 8)).expect("start");
+    let addr = server.addr();
+    let cancelled_before = rpt_obs::counter("serve.cancelled").value();
+
+    // Soak: clients submit forced-scoring jobs — deterministically
+    // `targets.len() + 1` fused steps, no early exit — and vanish
+    // without reading the response.
+    let targets: Vec<String> = (0..40).map(|i| (9 + i % 3).to_string()).collect();
+    let body = format!(
+        r#"{{"src": [9, 10, 11], "targets": [{}]}}"#,
+        targets.join(", ")
+    );
+    for _ in 0..12 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        write!(
+            stream,
+            "POST /v1/match HTTP/1.1\r\ncontent-length: {}\r\nconnection: keep-alive\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write request");
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        drop(stream); // client gone before the decode finishes
+    }
+
+    // The batcher must reap every abandoned job; bound the wait by
+    // attempts, keeping the server responsive throughout.
+    let mut reclaimed = false;
+    for _ in 0..2000 {
+        let (status, _) = common::request(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200, "server unhealthy during reclamation");
+        if rpt_obs::gauge("serve.kv_slots_in_use").value() == 0.0
+            && rpt_obs::gauge("serve.queue_depth").value() == 0.0
+        {
+            reclaimed = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(reclaimed, "KV slots leaked after client disconnects");
+    assert!(
+        rpt_obs::counter("serve.cancelled").value() > cancelled_before,
+        "no job was cancelled mid-decode across the soak"
+    );
+
+    // The pool is healthy: a real request still decodes fine.
+    let (status, resp_body) =
+        common::request(addr, "POST", "/v1/clean", r#"{"src": [9, 10], "max_steps": 4}"#);
+    assert_eq!(status, 200, "post-soak request failed: {resp_body}");
+    server.shutdown();
+    assert_eq!(rpt_obs::gauge("serve.kv_slots_in_use").value(), 0.0);
+    assert_eq!(rpt_obs::gauge("serve.queue_depth").value(), 0.0);
+}
+
+#[test]
+fn quant_mode_is_reported_and_serves() {
+    let _guard = common::serial();
+    let (model, params) = common::tiny_model(5);
+    let server = Server::start(
+        model,
+        params,
+        ServeConfig {
+            quant: true,
+            ..cfg(4, 8)
+        },
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    let (status, body) = common::request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"quant\":true"), "healthz lacks quant flag: {body}");
+    assert_eq!(rpt_obs::gauge("serve.quant").value(), 1.0);
+
+    let (status, body) =
+        common::request(addr, "POST", "/v1/clean", r#"{"src": [9, 10], "max_steps": 4}"#);
+    assert_eq!(status, 200, "quantized decode failed: {body}");
+    assert!(body.contains("\"tokens\""), "not a decode body: {body}");
+    server.shutdown();
+}

@@ -38,6 +38,7 @@
 pub mod arena;
 pub mod init;
 pub mod optim;
+pub mod quant;
 pub mod serialize;
 pub mod simd;
 pub mod tape;
@@ -45,6 +46,7 @@ pub mod tensor;
 
 pub use arena::Arena;
 pub use optim::{clip_global_norm, Adam, AdamConfig, AdamState, ParamId, ParamStore, Sgd};
+pub use quant::QuantMatrix;
 pub use serialize::{CheckpointError, TrainState};
 pub use tape::{Gradients, Tape, Var};
 pub use tensor::{matmul_chunk_count, matmul_rows_blocked_force, Tensor, PAR_MIN_MADDS_PER_CHUNK};

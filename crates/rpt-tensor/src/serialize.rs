@@ -383,6 +383,37 @@ pub fn load_json(store: &mut ParamStore, json: &str) -> Result<(), CheckpointErr
     load_params_doc(store, &doc)
 }
 
+/// Parses a checkpoint into a *fresh* store holding every parameter the
+/// file records, no model required — the offline path for tools (like
+/// `rpt quantize`) that transform checkpoints without rebuilding the
+/// architecture that produced them.
+pub fn load_params_any(json: &str) -> Result<ParamStore, CheckpointError> {
+    let doc = Json::parse(json)?;
+    doc.get("format_version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| structure("missing format_version"))?;
+    let params = doc
+        .get("params")
+        .and_then(Json::as_array)
+        .ok_or_else(|| structure("missing params array"))?;
+    let mut store = ParamStore::new();
+    for record in params {
+        let name = record
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| structure("param record without name"))?;
+        if store.find(name).is_some() {
+            return Err(structure(format!("duplicate parameter {name}")));
+        }
+        let shape = parse_shape(record, name, "shape")?;
+        let data = parse_floats(record, name, "data")?;
+        let t = Tensor::from_vec(data, &shape)
+            .map_err(|e| structure(format!("{name}: {e}")))?;
+        store.register(name, t);
+    }
+    Ok(store)
+}
+
 /// Writes the store to a file, atomically: a crash mid-save leaves any
 /// previous checkpoint at `path` intact.
 pub fn save_file(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
@@ -648,6 +679,154 @@ pub fn load_train_file(
     load_train_json(store, &json)
 }
 
+// ---------------------------------------------------------------------------
+// Quantized checkpoints (the `quant-v1` section)
+// ---------------------------------------------------------------------------
+
+/// Identifier of the quantized-tensor section layout this build writes.
+pub const QUANT_FORMAT: &str = "quant-v1";
+
+/// Serializes the f32 parameters plus a `"quant"` section holding int8
+/// tensors and their per-row scales:
+///
+/// ```text
+/// {"format_version":1,
+///  "params":[...],                      // unchanged v1 array
+///  "quant":{"format":"quant-v1",
+///           "tensors":[{"name":...,"n_out":...,"k":...,
+///                       "scales":[...],"data":[...]}]}}
+/// ```
+///
+/// `data` is the `[n_out, k]` row-major i8 weights as JSON integers. The
+/// `params` array is byte-compatible with v1, and [`load_params_doc`]
+/// ignores unknown top-level keys — so quantized checkpoints load
+/// anywhere a plain checkpoint does, with the quant section simply unused.
+pub fn quant_to_json<'a>(
+    store: &ParamStore,
+    tensors: impl IntoIterator<Item = (&'a str, &'a crate::quant::QuantMatrix)>,
+) -> String {
+    let records: Vec<Json> = tensors
+        .into_iter()
+        .map(|(name, qm)| {
+            json!({
+                "name": name,
+                "n_out": qm.n_out(),
+                "k": qm.k(),
+                "scales": floats_json(qm.scales()),
+                "data": qm.weights().iter().map(|&w| Json::from(w)).collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    json!({
+        "format_version": FORMAT_VERSION,
+        "params": param_records(store),
+        "quant": {
+            "format": QUANT_FORMAT,
+            "tensors": records,
+        },
+    })
+    .to_string()
+}
+
+/// Parses the `"quant"` section of a checkpoint, returning the named int8
+/// tensors — or `None` when the checkpoint has no such section (a plain
+/// f32 checkpoint).
+pub fn load_quant_json(
+    json: &str,
+) -> Result<Option<Vec<(String, crate::quant::QuantMatrix)>>, CheckpointError> {
+    let doc = Json::parse(json)?;
+    let Some(quant) = doc.get("quant") else {
+        return Ok(None);
+    };
+    let format = quant
+        .get("format")
+        .and_then(Json::as_str)
+        .ok_or_else(|| structure("quant section without format"))?;
+    if format != QUANT_FORMAT {
+        return Err(structure(format!(
+            "unsupported quant format {format:?} (this build reads {QUANT_FORMAT:?})"
+        )));
+    }
+    let mut out = Vec::new();
+    for record in quant
+        .get("tensors")
+        .and_then(Json::as_array)
+        .ok_or_else(|| structure("quant section without tensors array"))?
+    {
+        let name = record
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| structure("quant tensor without name"))?;
+        let n_out = record
+            .get("n_out")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| structure(format!("quant tensor {name} without n_out")))?
+            as usize;
+        let k = record
+            .get("k")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| structure(format!("quant tensor {name} without k")))?
+            as usize;
+        let scales = parse_floats(record, name, "scales")?;
+        let data: Vec<i8> = record
+            .get("data")
+            .and_then(Json::as_array)
+            .ok_or_else(|| structure(format!("quant tensor {name} without data")))?
+            .iter()
+            .map(|x| {
+                x.as_i64()
+                    .filter(|v| (-128..=127).contains(v))
+                    .map(|v| v as i8)
+            })
+            .collect::<Option<_>>()
+            .ok_or_else(|| structure(format!("quant tensor {name} has non-i8 data")))?;
+        if data.len() != n_out * k || scales.len() != n_out {
+            return Err(structure(format!(
+                "quant tensor {name} sizes disagree: {}x{} with {} weights, {} scales",
+                n_out,
+                k,
+                data.len(),
+                scales.len()
+            )));
+        }
+        out.push((
+            name.to_string(),
+            crate::quant::QuantMatrix::from_parts(n_out, k, data, scales),
+        ));
+    }
+    Ok(Some(out))
+}
+
+/// Atomically writes a quantized checkpoint (params + quant section).
+pub fn save_quant_file<'a>(
+    store: &ParamStore,
+    tensors: impl IntoIterator<Item = (&'a str, &'a crate::quant::QuantMatrix)>,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    save_quant_file_with(&mut StdCheckpointIo, store, tensors, path)
+}
+
+/// [`save_quant_file`] over an injectable IO layer.
+pub fn save_quant_file_with<'a>(
+    io: &mut dyn CheckpointIo,
+    store: &ParamStore,
+    tensors: impl IntoIterator<Item = (&'a str, &'a crate::quant::QuantMatrix)>,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    let _t = rpt_obs::span("ckpt.save", &OBS.save_ms);
+    atomic_write_with(io, path.as_ref(), quant_to_json(store, tensors).as_bytes())?;
+    Ok(())
+}
+
+/// Reads the `"quant"` section of a checkpoint file (`None` for plain f32
+/// checkpoints). Parameters load separately through [`load_file`].
+pub fn load_quant_file(
+    path: impl AsRef<Path>,
+) -> Result<Option<Vec<(String, crate::quant::QuantMatrix)>>, CheckpointError> {
+    let json = fs::read_to_string(path)?;
+    load_quant_json(&json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -701,6 +880,35 @@ mod tests {
         load_json(&mut store, old).unwrap();
         assert_eq!(store.value(w).data(), &[1.5, -2.5]);
         assert_eq!(store.value(b).data(), &[0.25]);
+    }
+
+    #[test]
+    fn load_params_any_rebuilds_the_store_model_free() {
+        let mut store = ParamStore::new();
+        store.register("enc.ff1.w", Tensor::from_vec(vec![0.1, -0.2, 0.3, 1.0 / 3.0], &[2, 2]).unwrap());
+        store.register("enc.ff1.b", Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap());
+        let json = to_json(&store);
+
+        let loaded = load_params_any(&json).unwrap();
+        let names: Vec<&str> = loaded.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["enc.ff1.w", "enc.ff1.b"]);
+        for (name, t) in store.iter() {
+            let got = loaded.value(loaded.find(name).unwrap());
+            assert_eq!(got.shape(), t.shape());
+            for (a, b) in t.data().iter().zip(got.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{name}: {a} reloaded as {b}");
+            }
+        }
+
+        assert!(matches!(
+            load_params_any(r#"{"params":[]}"#),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        let dup = r#"{"format_version":1,"params":[{"name":"w","shape":[1],"data":[1.0]},{"name":"w","shape":[1],"data":[2.0]}]}"#;
+        assert!(matches!(
+            load_params_any(dup),
+            Err(CheckpointError::Mismatch(_))
+        ));
     }
 
     #[test]
@@ -773,6 +981,69 @@ mod tests {
         let w2 = reloaded.register("w", Tensor::zeros(&[1]));
         load_file(&mut reloaded, &path).unwrap();
         assert_eq!(reloaded.value(w2).data(), &[2.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quant_checkpoint_roundtrips_bit_exactly() {
+        use crate::quant::QuantMatrix;
+        let mut store = ParamStore::new();
+        let w = store.register(
+            "lin.w",
+            Tensor::from_vec(vec![0.5, -1.5, 2.0, 0.25, -0.75, 1.0], &[2, 3]).unwrap(),
+        );
+        let qm = QuantMatrix::quantize_transposed(store.value(w).data(), 2, 3);
+        let json = quant_to_json(&store, [("lin.w", &qm)]);
+
+        // params still load through the plain path (quant key ignored)
+        let mut store2 = ParamStore::new();
+        let w2 = store2.register("lin.w", Tensor::zeros(&[2, 3]));
+        load_json(&mut store2, &json).unwrap();
+        assert_eq!(store2.value(w2).data(), store.value(w).data());
+
+        let tensors = load_quant_json(&json).unwrap().expect("quant section");
+        assert_eq!(tensors.len(), 1);
+        let (name, back) = &tensors[0];
+        assert_eq!(name, "lin.w");
+        assert_eq!(back.weights(), qm.weights());
+        assert_eq!(
+            back.scales().iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            qm.scales().iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn plain_checkpoints_have_no_quant_section() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::scalar(1.0));
+        assert!(load_quant_json(&to_json(&store)).unwrap().is_none());
+    }
+
+    #[test]
+    fn unsupported_quant_format_is_rejected() {
+        let json = r#"{"format_version":1,"params":[],"quant":{"format":"quant-v9","tensors":[]}}"#;
+        assert!(matches!(
+            load_quant_json(json),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn quant_save_is_atomic_under_faults() {
+        use crate::quant::QuantMatrix;
+        let dir = std::env::temp_dir().join("rpt-serialize-quant-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("q8.json");
+        let mut store = ParamStore::new();
+        store.register("lin.w", Tensor::from_vec(vec![1.0, -1.0], &[1, 2]).unwrap());
+        let qm = QuantMatrix::quantize_transposed(&[1.0, -1.0], 1, 2);
+        save_quant_file(&store, [("lin.w", &qm)], &path).unwrap();
+
+        let mut io = FaultyIo::new(Fault::ShortWrite(5));
+        let err = save_quant_file_with(&mut io, &store, [("lin.w", &qm)], &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+        let survived = load_quant_file(&path).unwrap().expect("old file intact");
+        assert_eq!(survived[0].1.weights(), qm.weights());
         std::fs::remove_file(&path).ok();
     }
 

@@ -43,6 +43,37 @@ pub fn simd_available() -> bool {
     }
 }
 
+/// Detected CPU features relevant to kernel dispatch, comma-separated
+/// (e.g. `"sse2,avx,avx2,fma"`), for bench artifacts: two runs of the
+/// same benchmark are only comparable when this string matches.
+pub fn cpu_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut feats: Vec<&str> = Vec::new();
+        for (name, on) in [
+            ("sse2", std::arch::is_x86_feature_detected!("sse2")),
+            ("sse4.2", std::arch::is_x86_feature_detected!("sse4.2")),
+            ("avx", std::arch::is_x86_feature_detected!("avx")),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("fma", std::arch::is_x86_feature_detected!("fma")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+        ] {
+            if on {
+                feats.push(name);
+            }
+        }
+        feats.join(",")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        "neon".to_string() // baseline on aarch64
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        String::new()
+    }
+}
+
 /// The process-wide kernel choice: [`simd_available`] and `RPT_SIMD` is
 /// not `"0"` (unset or any other value keeps SIMD on where available).
 /// Read once; tests that need both paths in one process use the

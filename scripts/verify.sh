@@ -24,6 +24,12 @@
 #    threads, a fast-mode load-generator run whose artifact must parse
 #    and show real batch occupancy, and a CLI `rpt serve` smoke drive
 #    over raw TCP covering every endpoint plus the serve.* metrics.
+# 8. The quantization gate: the int8 equivalence suite under every
+#    RPT_SIMD x RPT_THREADS combination with a cross-process decode
+#    fingerprint diff, a fast-mode quant bench whose artifact must parse
+#    and show int8 beating f32, and a quantize-then-serve smoke drive
+#    (`rpt quantize` a saved model, serve it with --quant, check
+#    /healthz reports quant and /v1/clean still answers).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,6 +56,28 @@ RPT_SIMD=1 RPT_THREADS=4 cargo test -q --offline --test parallel_equivalence
 smoke_dir=$(mktemp -d)
 serve_pid=""
 trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$smoke_dir"' EXIT
+
+# Quantized-path gate: the int8 kernels accumulate in i32 (exact and
+# associative), so scalar vs AVX2 and every thread count must produce
+# byte-identical decodes. The suite asserts kernel-level identity
+# in-process and exports a whole-process decode fingerprint; all four
+# SIMD x thread configurations must write the same fingerprint.
+for simd in 0 1; do
+    for threads in 1 4; do
+        RPT_SIMD=$simd RPT_THREADS=$threads \
+            RPT_QUANT_FINGERPRINT_OUT="$smoke_dir/quant_fp_${simd}_${threads}" \
+            cargo test -q --offline --test quant_equivalence
+    done
+done
+quant_fp=$(cat "$smoke_dir/quant_fp_0_1")
+for f in "$smoke_dir"/quant_fp_*; do
+    [ "$(cat "$f")" = "$quant_fp" ] || {
+        echo "verify: quantized decode fingerprints diverge across RPT_SIMD/RPT_THREADS" >&2
+        grep . "$smoke_dir"/quant_fp_* >&2
+        exit 1
+    }
+done
+
 RPT_BENCH_FAST=1 RPT_BENCH_DIR="$smoke_dir" \
     cargo bench -q --offline -p rpt-bench --bench micro -- decode
 test -s "$smoke_dir/bench_decode.json" || {
@@ -110,6 +138,31 @@ assert occ >= 8, f"batcher not coalescing: occupancy {occ:.2f} at concurrency 16
 s = serve["batch16_speedup"]
 assert s >= 1.2, f"batched throughput not above single-stream: {s:.3f}"
 print(f"verify: serve bench OK (occupancy {occ:.2f}, speedup {s:.3f})")
+PY
+fi
+
+# Quantized-decode bench smoke: the artifact must parse and show int8
+# beating f32 greedy decode. The bar is lenient in fast mode (few
+# samples); the committed full-mode bench_results/bench_quant.json holds
+# the >= 1.8x line.
+RPT_BENCH_FAST=1 RPT_THREADS=1 RPT_BENCH_DIR="$smoke_dir" \
+    cargo bench -q --offline -p rpt-bench --bench micro -- quant
+test -s "$smoke_dir/bench_quant.json" || {
+    echo "verify: quant bench artifact missing" >&2
+    exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$smoke_dir" <<'PY'
+import json, sys
+d = sys.argv[1]
+quant = json.load(open(f"{d}/bench_quant.json"))
+for key in ("simd", "cpu_features", "threads", "f32_tokens_per_sec",
+            "quant_tokens_per_sec", "speedup"):
+    assert key in quant, f"bench_quant missing {key}"
+assert quant["f32_tokens_per_sec"] > 0 and quant["quant_tokens_per_sec"] > 0
+s = quant["speedup"]
+assert s >= 1.2, f"int8 decode not faster than f32: speedup={s:.3f}"
+print(f"verify: quant bench OK (speedup {s:.3f})")
 PY
 fi
 
@@ -232,6 +285,50 @@ if command -v python3 >/dev/null 2>&1; then
         exit 1
     }
 fi
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+# Quantize-then-serve smoke drive: train and save an f32 model, convert
+# it to a quant-v1 checkpoint with `rpt quantize`, then serve the
+# quantized file. /healthz must report quantization on and /v1/clean
+# must still answer.
+./target/release/rpt clean "$smoke_dir/toy.csv" --steps 20 \
+    --save "$smoke_dir/model.json" --output "$smoke_dir/out4.csv" >/dev/null
+./target/release/rpt quantize "$smoke_dir/model.json" \
+    "$smoke_dir/model.q8.json" >/dev/null
+test -s "$smoke_dir/model.q8.json" || {
+    echo "verify: rpt quantize produced no checkpoint" >&2
+    exit 1
+}
+grep -q '"quant-v1"' "$smoke_dir/model.q8.json" || {
+    echo "verify: quantized checkpoint has no quant-v1 section" >&2
+    exit 1
+}
+./target/release/rpt serve "$smoke_dir/toy.csv" --steps 20 \
+    --load "$smoke_dir/model.q8.json" --quant \
+    --checkpoint-dir "$smoke_dir/serve-q8-ckpt" > "$smoke_dir/serve-q8.log" &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 240); do
+    serve_addr=$(sed -n 's/^listening on //p' "$smoke_dir/serve-q8.log")
+    [ -n "$serve_addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.5
+done
+[ -n "$serve_addr" ] || {
+    echo "verify: quantized rpt serve did not come up" >&2
+    cat "$smoke_dir/serve-q8.log" >&2
+    exit 1
+}
+serve_get /healthz | grep -q '"quant":true' || {
+    echo "verify: quantized server /healthz does not report quant" >&2
+    exit 1
+}
+serve_post /v1/clean '{"src": [3, 4], "max_steps": 4}' | grep -q '"tokens"' || {
+    echo "verify: quantized /v1/clean returned no tokens" >&2
+    exit 1
+}
 kill "$serve_pid" 2>/dev/null || true
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""

@@ -1,0 +1,97 @@
+//! Quantized-vs-f32 task-accuracy parity on the fig1 scenario models.
+//!
+//! Int8 weight quantization trades precision for speed; the product
+//! question is whether it trades away *answers*. This trains the fig1
+//! data-cleaning scenario model (RPT-C over the product-domain
+//! benchmarks, miniature scale like `end_to_end.rs`), then measures fill
+//! quality with the same trained parameters served two ways — f32 and
+//! per-row int8 — and requires the aggregate metrics to agree within one
+//! point. Everything is seeded and the decode paths are deterministic,
+//! so the comparison is exact and reproducible.
+
+use rpt::core::cleaning::{evaluate_fill, CleaningConfig, MaskPolicy, RptC};
+use rpt::core::train::TrainOpts;
+use rpt::core::vocabulary::build_vocab;
+use rpt::datagen::standard_benchmarks;
+use rpt::table::Table;
+use rpt_rng::{SeedableRng, SmallRng};
+
+/// One point of accuracy, as a fraction.
+const PARITY: f64 = 0.01;
+
+#[test]
+fn quantized_fig1_cleaning_model_matches_f32_within_one_point() {
+    let mut rng = SmallRng::seed_from_u64(77); // fig1's seed
+    let (_universe, benches) = standard_benchmarks(50, &mut rng);
+    let tables: Vec<&Table> = benches
+        .iter()
+        .flat_map(|b| [&b.table_a, &b.table_b])
+        .collect();
+    let vocab = build_vocab(&tables, &[], 1, 8000);
+
+    let mut cfg = CleaningConfig::tiny();
+    cfg.mask_policy = MaskPolicy::Mixed;
+    cfg.train = TrainOpts {
+        steps: 600,
+        batch_size: 16,
+        warmup: 60,
+        peak_lr: 3e-3,
+        ..Default::default()
+    };
+    cfg.model.d_model = 32;
+    cfg.model.d_ff = 64;
+    cfg.model.n_heads = 4;
+
+    let abt = &benches[0];
+    let wal = &benches[2];
+    let mut rptc = RptC::new(vocab.clone(), cfg);
+    let corpus = [&abt.table_a, &abt.table_b, &wal.table_a, &wal.table_b];
+    rptc.pretrain(&corpus);
+
+    // Scenario (a): repair the manufacturer column from context. Metrics
+    // are pooled over every pretraining table so one flipped fill moves
+    // the aggregate by a fraction of a point, not two points — parity is
+    // judged at the scenario level, like fig1 reports it.
+    let pooled = |rptc: &mut RptC, vocab: &_| -> (f64, f64, usize) {
+        let (mut exact, mut f1, mut n) = (0.0, 0.0, 0usize);
+        for table in corpus {
+            let e = evaluate_fill(rptc, table, 1, 50, vocab);
+            exact += e.exact * e.n as f64;
+            f1 += e.token_f1 * e.n as f64;
+            n += e.n;
+        }
+        (exact / n as f64, f1 / n as f64, n)
+    };
+    let f32_eval = pooled(&mut rptc, &vocab);
+
+    rptc.set_quant_enabled(true);
+    let q8_eval = pooled(&mut rptc, &vocab);
+
+    // The f32 baseline must be a real model (parity between two broken
+    // models would prove nothing).
+    assert!(
+        f32_eval.1 > 0.3,
+        "fig1 cleaning model failed to train: token F1 {:.3} over {} fills",
+        f32_eval.1,
+        f32_eval.2
+    );
+    assert_eq!(f32_eval.2, q8_eval.2, "both paths must score the same rows");
+    assert!(
+        (f32_eval.0 - q8_eval.0).abs() <= PARITY,
+        "int8 exact-match accuracy diverged: f32 {:.4} vs int8 {:.4}",
+        f32_eval.0,
+        q8_eval.0
+    );
+    assert!(
+        (f32_eval.1 - q8_eval.1).abs() <= PARITY,
+        "int8 token F1 diverged: f32 {:.4} vs int8 {:.4}",
+        f32_eval.1,
+        q8_eval.1
+    );
+
+    // Un-quantizing restores the f32 path bit-for-bit.
+    rptc.set_quant_enabled(false);
+    let back = pooled(&mut rptc, &vocab);
+    assert_eq!(back.0.to_bits(), f32_eval.0.to_bits());
+    assert_eq!(back.1.to_bits(), f32_eval.1.to_bits());
+}
