@@ -800,11 +800,161 @@ fn bench_quant() {
     rpt_bench::emit_artifact("bench_quant", &rpt_json::Json::Object(root));
 }
 
+/// Streaming-corpus pretraining throughput: tokens/sec training over a
+/// sharded on-disk corpus — with and without the background prefetch
+/// thread — against the same logical corpus held fully in memory, plus
+/// the `corpus.overlap_ratio` the prefetcher achieved (fraction of
+/// shard-load time hidden behind training). The three arms are
+/// bit-identical by construction (asserted on the loss curves), so any
+/// gap is pure transport cost. Writes
+/// `bench_results/bench_streaming.json`.
+fn bench_streaming() {
+    use rpt_core::cleaning::{CleaningConfig, RptC, StreamOpts};
+    use rpt_core::corpus::{self, DiskCorpus, InMemoryCorpus, ShardSource};
+    use rpt_core::train::TrainOpts;
+    use rpt_core::vocabulary::build_vocab;
+    use rpt_table::Table;
+
+    rpt_obs::set_metrics_enabled(true);
+    let (steps, rows) = if fast_mode() { (4, 30) } else { (30, 120) };
+    let shard_size = 32;
+
+    let mut rng = SmallRng::seed_from_u64(6);
+    let (_u, mut benches) = standard_benchmarks(rows, &mut rng);
+    let b = benches.remove(0);
+    let tables = vec![b.table_a, b.table_b];
+    let refs: Vec<&Table> = tables.iter().collect();
+    let vocab = build_vocab(&refs, &[], 1, 8000);
+    let encoder = TupleEncoder::new(vocab.clone(), EncoderOptions::default());
+    let examples = corpus::encode_tables(&encoder, &refs);
+    let mean_ids = examples.iter().map(|e| e.ids.len()).sum::<usize>() as f64
+        / examples.len().max(1) as f64;
+    let shards = corpus::split_shards(examples, shard_size);
+    let dir = std::env::temp_dir().join("rpt-bench-streaming-corpus");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = corpus::write_corpus(&dir, &shards, &vocab).unwrap();
+
+    let cfg = || {
+        let mut cfg = CleaningConfig::tiny();
+        cfg.train = TrainOpts {
+            steps,
+            batch_size: 8,
+            micro_batch: 2,
+            warmup: (steps / 10).max(1),
+            peak_lr: 3e-3,
+            ..Default::default()
+        };
+        cfg
+    };
+    // examples consumed per run x mean tokens per example — the tokens/sec
+    // denominator every arm shares
+    let tokens_per_run = (steps * 8) as f64 * mean_ids;
+    let mut run = |source: Box<dyn ShardSource>, prefetch: bool| -> (Duration, Vec<u32>) {
+        let opts = StreamOpts {
+            accum_steps: 1,
+            prefetch,
+            stop_after_micro: None,
+        };
+        let mut model = RptC::new(vocab.clone(), cfg());
+        let t0 = Instant::now();
+        let losses = model.pretrain_stream(source, &opts, None, None).unwrap();
+        let elapsed = t0.elapsed();
+        (elapsed, losses.iter().map(|x| x.to_bits()).collect())
+    };
+
+    let (mem_t, mem_losses) = run(
+        Box::new(InMemoryCorpus::new(shards.clone(), &vocab)),
+        false,
+    );
+    let (sync_t, sync_losses) = run(Box::new(DiskCorpus::open(&dir).unwrap()), false);
+    let (pf_t, pf_losses) = run(Box::new(DiskCorpus::open(&dir).unwrap()), true);
+    let overlap = rpt_obs::gauge("corpus.overlap_ratio").value();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(mem_losses, sync_losses, "disk-sync arm diverged from memory");
+    assert_eq!(mem_losses, pf_losses, "prefetch arm diverged from memory");
+
+    let tps = |d: Duration| tokens_per_run / d.as_secs_f64();
+    println!(
+        "streaming/in_memory                {:>12}  ({:.0} tokens/s)",
+        human(mem_t),
+        tps(mem_t)
+    );
+    println!(
+        "streaming/disk_sync                {:>12}  ({:.0} tokens/s)",
+        human(sync_t),
+        tps(sync_t)
+    );
+    println!(
+        "streaming/disk_prefetch            {:>12}  ({:.0} tokens/s)",
+        human(pf_t),
+        tps(pf_t)
+    );
+    println!("streaming/prefetch_overlap_ratio   {overlap:>12.3}");
+
+    let mut root = rpt_json::Map::new();
+    root.insert(
+        "bench".into(),
+        rpt_json::Json::from(format!(
+            "streaming_pretrain_{steps}steps_b8_shard{shard_size}"
+        )),
+    );
+    root.insert(
+        "simd".into(),
+        rpt_json::Json::from(rpt_tensor::simd::simd_enabled()),
+    );
+    root.insert(
+        "cpu_features".into(),
+        rpt_json::Json::from(rpt_tensor::simd::cpu_features()),
+    );
+    root.insert(
+        "threads".into(),
+        rpt_json::Json::from(rpt_par::ThreadPool::global().num_threads()),
+    );
+    root.insert("fast_mode".into(), rpt_json::Json::from(fast_mode()));
+    root.insert("steps".into(), rpt_json::Json::from(steps));
+    root.insert(
+        "shards".into(),
+        rpt_json::Json::from(manifest.shards.len()),
+    );
+    root.insert(
+        "tuples".into(),
+        rpt_json::Json::from(manifest.total_tuples()),
+    );
+    root.insert("tokens_per_run".into(), rpt_json::Json::from(tokens_per_run));
+    root.insert(
+        "in_memory_ns".into(),
+        rpt_json::Json::from(mem_t.as_nanos() as u64),
+    );
+    root.insert(
+        "disk_sync_ns".into(),
+        rpt_json::Json::from(sync_t.as_nanos() as u64),
+    );
+    root.insert(
+        "disk_prefetch_ns".into(),
+        rpt_json::Json::from(pf_t.as_nanos() as u64),
+    );
+    root.insert(
+        "in_memory_tokens_per_sec".into(),
+        rpt_json::Json::from(tps(mem_t)),
+    );
+    root.insert(
+        "disk_sync_tokens_per_sec".into(),
+        rpt_json::Json::from(tps(sync_t)),
+    );
+    root.insert(
+        "disk_prefetch_tokens_per_sec".into(),
+        rpt_json::Json::from(tps(pf_t)),
+    );
+    root.insert("overlap_ratio".into(), rpt_json::Json::from(overlap));
+    rpt_bench::emit_artifact("bench_streaming", &rpt_json::Json::Object(root));
+}
+
 fn main() {
     // `cargo bench -- <filter>` runs only groups whose name matches
     // (flags cargo injects, like `--bench`, are skipped)
     let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-    let groups: [(&str, fn()); 11] = [
+    let groups: [(&str, fn()); 12] = [
         ("matmul", bench_matmul),
         ("softmax_layernorm", bench_softmax_layernorm),
         ("attention", bench_attention),
@@ -816,6 +966,7 @@ fn main() {
         ("decode", bench_decode),
         ("serve", bench_serve),
         ("quant", bench_quant),
+        ("streaming", bench_streaming),
     ];
     let (samples, measure, warm_up) = harness_params();
     println!(

@@ -21,16 +21,18 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use rpt_baselines::ZeroEr;
-use rpt_core::cleaning::{CheckpointOpts, CleaningConfig, Filler, RptC};
+use rpt_core::cleaning::{CheckpointOpts, CleaningConfig, Filler, RptC, StreamOpts};
+use rpt_core::corpus::{self, DiskCorpus, ShardSource};
 use rpt_core::detect::{detect_errors, DetectorConfig};
 use rpt_core::er::{Blocker, BlockerConfig};
 use rpt_core::train::TrainOpts;
 use rpt_core::vocabulary::build_vocab;
-use rpt_datagen::ErBenchmark;
+use rpt_datagen::{standard_benchmarks, ErBenchmark};
 use rpt_rng::SeedableRng;
 use rpt_rng::SmallRng;
 use rpt_table::{csv, Table, TableProfile};
 use rpt_tensor::serialize;
+use rpt_tokenizer::TupleEncoder;
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -334,6 +336,149 @@ pub fn cmd_quantize(input: &str, output: &str) -> Result<String, CliError> {
     ))
 }
 
+/// Options for `rpt shard`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOptions {
+    /// `--shard-size` — tuples per shard (the final shard may be ragged).
+    pub shard_size: usize,
+    /// `--rows` — size of the generated benchmark tables.
+    pub rows: usize,
+    /// `--seed` — datagen seed.
+    pub seed: u64,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        Self {
+            shard_size: 64,
+            rows: 50,
+            seed: 6,
+        }
+    }
+}
+
+/// `rpt shard` — build a sharded on-disk pretraining corpus from
+/// generated benchmark tables: binary token shards, `vocab.json`, and a
+/// `manifest.json` written last as the commit point.
+pub fn cmd_shard(out_dir: &str, opts: &ShardOptions) -> Result<String, CliError> {
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let (_universe, mut benches) = standard_benchmarks(opts.rows, &mut rng);
+    let b = benches.remove(0);
+    let tables = vec![b.table_a, b.table_b];
+    let refs: Vec<&Table> = tables.iter().collect();
+    let vocab = build_vocab(&refs, &[], 1, 20_000);
+    let encoder = TupleEncoder::new(vocab.clone(), Default::default());
+    let examples = corpus::encode_tables(&encoder, &refs);
+    let shards = corpus::split_shards(examples, opts.shard_size);
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| CliError::Data(format!("cannot create {out_dir}: {e}")))?;
+    let manifest = corpus::write_corpus(Path::new(out_dir), &shards, &vocab)
+        .map_err(|e| CliError::Data(format!("cannot write corpus: {e}")))?;
+    Ok(format!(
+        "corpus written to {out_dir}: {} shard(s), {} tuple(s), vocab {} token(s)\n",
+        manifest.shards.len(),
+        manifest.total_tuples(),
+        vocab.len(),
+    ))
+}
+
+/// Options for `rpt pretrain`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PretrainOptions {
+    /// `--steps` — optimizer steps.
+    pub steps: usize,
+    /// `--batch-size` — examples per optimizer step.
+    pub batch_size: usize,
+    /// `--micro-batch` — examples per data-parallel shard.
+    pub micro_batch: usize,
+    /// `--accum-steps` — micro-batches folded into one optimizer step.
+    pub accum_steps: usize,
+    /// `--no-prefetch` — load shards synchronously on the training thread.
+    pub prefetch: bool,
+    /// `--save` — write the trained params here.
+    pub save: Option<String>,
+    /// `--checkpoint-dir` — rolling crash-safe train-state checkpoints.
+    pub checkpoint_dir: Option<String>,
+    /// `--resume` — continue from a train-state file (mid-corpus, even
+    /// mid-accumulation-window, bit-identical to an uninterrupted run).
+    pub resume: Option<String>,
+}
+
+impl Default for PretrainOptions {
+    fn default() -> Self {
+        Self {
+            steps: 400,
+            batch_size: 16,
+            micro_batch: 4,
+            accum_steps: 1,
+            prefetch: true,
+            save: None,
+            checkpoint_dir: None,
+            resume: None,
+        }
+    }
+}
+
+/// `rpt pretrain` — streaming pretraining over a corpus directory built
+/// by [`cmd_shard`]; the corpus is read shard by shard and never held in
+/// memory at once.
+pub fn cmd_pretrain(corpus_dir: &str, opts: &PretrainOptions) -> Result<String, CliError> {
+    let mut disk = DiskCorpus::open(corpus_dir)
+        .map_err(|e| CliError::Data(format!("corpus {corpus_dir}: {e}")))?;
+    let vocab = disk
+        .vocab()
+        .map_err(|e| CliError::Data(format!("corpus {corpus_dir}: {e}")))?;
+    if opts.steps == 0 && opts.resume.is_none() {
+        return Err(CliError::Usage(
+            "either --steps > 0 or --resume <state> is required".into(),
+        ));
+    }
+    let cfg = CleaningConfig {
+        train: TrainOpts {
+            steps: opts.steps,
+            batch_size: opts.batch_size,
+            micro_batch: opts.micro_batch,
+            warmup: (opts.steps / 10).max(1),
+            peak_lr: 3e-3,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut model = RptC::new(vocab, cfg);
+    let checkpoint = match &opts.checkpoint_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CliError::Data(format!("cannot create checkpoint dir {dir}: {e}")))?;
+            Some(CheckpointOpts {
+                dir: dir.into(),
+                every: (opts.steps / 10).max(1),
+            })
+        }
+        None => None,
+    };
+    let stream = StreamOpts {
+        accum_steps: opts.accum_steps.max(1),
+        prefetch: opts.prefetch,
+        stop_after_micro: None,
+    };
+    let n_shards = disk.manifest().shards.len();
+    let n_tuples = disk.manifest().total_tuples();
+    let resume = opts.resume.as_deref().map(Path::new);
+    let losses = model
+        .pretrain_stream(Box::new(disk), &stream, checkpoint.as_ref(), resume)
+        .map_err(|e| CliError::Data(format!("streaming pretraining: {e}")))?;
+    if let Some(path) = &opts.save {
+        serialize::save_file(&model.params, path)
+            .map_err(|e| CliError::Data(format!("cannot save checkpoint: {e}")))?;
+    }
+    let final_loss = losses.last().copied().unwrap_or(f32::NAN);
+    Ok(format!(
+        "pretrained {} step(s) (accum {}) streaming {n_shards} shard(s) / {n_tuples} tuple(s); final loss {final_loss:.4}\n",
+        losses.len(),
+        stream.accum_steps,
+    ))
+}
+
 /// The checkpoint file `rpt serve --checkpoint-dir` watches for
 /// hot-reload (the format `rpt clean --save` writes).
 pub const SERVE_MODEL_FILE: &str = "model.json";
@@ -445,6 +590,10 @@ pub enum Command {
     Serve(String, ServeOptions),
     /// `rpt quantize <model.json> <out.json>`
     Quantize(String, String),
+    /// `rpt shard <out-dir> [flags]`
+    Shard(String, ShardOptions),
+    /// `rpt pretrain <corpus-dir> [flags]`
+    Pretrain(String, PretrainOptions),
     /// `rpt help`
     Help,
 }
@@ -495,6 +644,9 @@ USAGE:
   rpt serve   <file.csv> [--addr ADDR] [--max-batch N] [--steps N] [--load MODEL]
                          [--checkpoint-dir DIR] [--quant]
   rpt quantize <model.json> <out.json>
+  rpt shard   <out-dir> [--shard-size K] [--rows N] [--seed S]
+  rpt pretrain <corpus-dir> [--steps N] [--batch-size B] [--micro-batch M] [--accum-steps K]
+                            [--no-prefetch] [--save MODEL] [--checkpoint-dir DIR] [--resume STATE]
   rpt help
 
 Observability (any command):
@@ -514,6 +666,15 @@ Durable training: --checkpoint-dir DIR writes a rolling, atomically
 replaced DIR/train_state.json (params + Adam moments + RNG streams +
 loss curve) every ~10% of the run; --resume STATE continues a killed
 run bit-identically to one that was never interrupted.
+
+Streaming corpora: rpt shard builds a sharded on-disk corpus (binary
+token shards + vocab.json + manifest.json); rpt pretrain streams it
+shard by shard — prefetching the next shard in the background unless
+--no-prefetch — with --accum-steps folding K micro-batches into one
+optimizer step, bit-identical to the equivalent large batch. Its
+--checkpoint-dir state records the corpus position (epoch, shard,
+offset, pending accumulation window), so --resume continues mid-corpus
+— even mid-window — on the exact uninterrupted trajectory.
 ";
 
 /// Observability flags, valid on every command. Extracted from argv by
@@ -738,6 +899,105 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Quantize(input, output))
         }
+        "shard" => {
+            let out_dir = it
+                .next()
+                .ok_or_else(|| CliError::Usage("shard needs an output directory".into()))?
+                .clone();
+            let rest: Vec<String> = it.cloned().collect();
+            let mut opts = ShardOptions::default();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let value = rest
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+                match flag {
+                    "--shard-size" => {
+                        let n: usize = value
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad --shard-size {value}")))?;
+                        if n == 0 {
+                            return Err(CliError::Usage("--shard-size must be >= 1".into()));
+                        }
+                        opts.shard_size = n;
+                    }
+                    "--rows" => {
+                        opts.rows = value
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad --rows {value}")))?
+                    }
+                    "--seed" => {
+                        opts.seed = value
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad --seed {value}")))?
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+                i += 2;
+            }
+            Ok(Command::Shard(out_dir, opts))
+        }
+        "pretrain" => {
+            let corpus_dir = it
+                .next()
+                .ok_or_else(|| CliError::Usage("pretrain needs a corpus directory".into()))?
+                .clone();
+            let rest: Vec<String> = it.cloned().collect();
+            let mut opts = PretrainOptions::default();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                if flag == "--no-prefetch" {
+                    opts.prefetch = false;
+                    i += 1;
+                    continue;
+                }
+                let value = rest
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+                match flag {
+                    "--steps" => {
+                        opts.steps = value
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad --steps {value}")))?
+                    }
+                    "--batch-size" => {
+                        let n: usize = value
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad --batch-size {value}")))?;
+                        if n == 0 {
+                            return Err(CliError::Usage("--batch-size must be >= 1".into()));
+                        }
+                        opts.batch_size = n;
+                    }
+                    "--micro-batch" => {
+                        let n: usize = value
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad --micro-batch {value}")))?;
+                        if n == 0 {
+                            return Err(CliError::Usage("--micro-batch must be >= 1".into()));
+                        }
+                        opts.micro_batch = n;
+                    }
+                    "--accum-steps" => {
+                        let n: usize = value
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad --accum-steps {value}")))?;
+                        if n == 0 {
+                            return Err(CliError::Usage("--accum-steps must be >= 1".into()));
+                        }
+                        opts.accum_steps = n;
+                    }
+                    "--save" => opts.save = Some(value.clone()),
+                    "--checkpoint-dir" => opts.checkpoint_dir = Some(value.clone()),
+                    "--resume" => opts.resume = Some(value.clone()),
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+                i += 2;
+            }
+            Ok(Command::Pretrain(corpus_dir, opts))
+        }
         other => Err(CliError::Usage(format!("unknown command {other}"))),
     }
 }
@@ -754,6 +1014,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Match(a, b, t) => cmd_match(&a, &b, t),
         Command::Serve(path, opts) => cmd_serve(&path, &opts),
         Command::Quantize(input, output) => cmd_quantize(&input, &output),
+        Command::Shard(out_dir, opts) => cmd_shard(&out_dir, &opts),
+        Command::Pretrain(corpus_dir, opts) => cmd_pretrain(&corpus_dir, &opts),
     }
 }
 
@@ -763,6 +1025,86 @@ mod tests {
 
     fn s(v: &[&str]) -> Vec<String> {
         v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_shard_flags() {
+        let cmd = parse_args(&s(&[
+            "shard",
+            "corpus/",
+            "--shard-size",
+            "32",
+            "--rows",
+            "80",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Shard(
+                "corpus/".into(),
+                ShardOptions {
+                    shard_size: 32,
+                    rows: 80,
+                    seed: 9,
+                }
+            )
+        );
+        assert_eq!(
+            parse_args(&s(&["shard", "c"])).unwrap(),
+            Command::Shard("c".into(), ShardOptions::default())
+        );
+        assert!(parse_args(&s(&["shard"])).is_err());
+        assert!(parse_args(&s(&["shard", "c", "--shard-size", "0"])).is_err());
+        assert!(parse_args(&s(&["shard", "c", "--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn parse_pretrain_flags() {
+        let cmd = parse_args(&s(&[
+            "pretrain",
+            "corpus/",
+            "--steps",
+            "200",
+            "--batch-size",
+            "8",
+            "--micro-batch",
+            "2",
+            "--accum-steps",
+            "4",
+            "--no-prefetch",
+            "--save",
+            "m.json",
+            "--checkpoint-dir",
+            "ckpt/",
+            "--resume",
+            "ckpt/train_state.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Pretrain(
+                "corpus/".into(),
+                PretrainOptions {
+                    steps: 200,
+                    batch_size: 8,
+                    micro_batch: 2,
+                    accum_steps: 4,
+                    prefetch: false,
+                    save: Some("m.json".into()),
+                    checkpoint_dir: Some("ckpt/".into()),
+                    resume: Some("ckpt/train_state.json".into()),
+                }
+            )
+        );
+        assert_eq!(
+            parse_args(&s(&["pretrain", "c"])).unwrap(),
+            Command::Pretrain("c".into(), PretrainOptions::default())
+        );
+        assert!(parse_args(&s(&["pretrain"])).is_err());
+        assert!(parse_args(&s(&["pretrain", "c", "--accum-steps", "0"])).is_err());
+        assert!(parse_args(&s(&["pretrain", "c", "--batch-size", "x"])).is_err());
     }
 
     #[test]

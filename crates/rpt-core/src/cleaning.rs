@@ -24,6 +24,9 @@ use rpt_tensor::serialize::CheckpointError;
 use rpt_tensor::ParamStore;
 use rpt_tokenizer::{EncodedTuple, EncoderOptions, TupleEncoder, Vocab, BOS, EOS, PAD};
 
+use rpt_tensor::serialize::{self, AccumState, CorpusPos};
+
+use crate::corpus::{CorpusError, ShardSource, StreamCursor};
 use crate::train::{TrainOpts, Trainer, TRAIN_OBS, TRAIN_STATE_FILE};
 
 /// Durable-training options for [`RptC::pretrain_on`]: where to put the
@@ -34,6 +37,33 @@ pub struct CheckpointOpts {
     pub dir: PathBuf,
     /// Save every this many completed steps; the final step always saves.
     pub every: usize,
+}
+
+/// Options for streaming pretraining ([`RptC::pretrain_stream_on`]).
+#[derive(Debug, Clone)]
+pub struct StreamOpts {
+    /// Micro-steps folded into each optimizer step (gradient
+    /// accumulation). `1` applies every micro-batch immediately; `k`
+    /// splits each batch of `batch_size` examples into `k` gathers of
+    /// `batch_size / k`, bit-identical to the single large batch.
+    pub accum_steps: usize,
+    /// Load and decode the next shard on a background thread while the
+    /// current shard trains (double buffering). Never changes results.
+    pub prefetch: bool,
+    /// Stop after this many micro-steps *of this invocation*, writing a
+    /// (possibly mid-window) checkpoint first — the simulated-crash hook
+    /// the kill/resume harness drives.
+    pub stop_after_micro: Option<u64>,
+}
+
+impl Default for StreamOpts {
+    fn default() -> Self {
+        Self {
+            accum_steps: 1,
+            prefetch: true,
+            stop_after_micro: None,
+        }
+    }
 }
 
 /// Which corruption to apply during pretraining (§2.2).
@@ -210,6 +240,19 @@ impl RptC {
         rng: &mut (impl Rng + ?Sized),
     ) -> Option<(Sequence, Vec<usize>)> {
         let encoded = self.encoder.encode_tuple(schema, tuple);
+        self.pair_from_encoded(&encoded, profile, rng)
+    }
+
+    /// [`RptC::training_pair`] over an already-tokenized tuple — the form
+    /// streaming corpora store. Draws from `rng` in exactly the order
+    /// `training_pair` does, so the two paths produce identical pairs from
+    /// identical RNG states.
+    pub fn pair_from_encoded(
+        &self,
+        encoded: &EncodedTuple,
+        profile: Option<&TableProfile>,
+        rng: &mut (impl Rng + ?Sized),
+    ) -> Option<(Sequence, Vec<usize>)> {
         if encoded.value_spans.is_empty() {
             return None;
         }
@@ -233,7 +276,7 @@ impl RptC {
             picked.sort_unstable();
             encoded.mask_tokens(&picked)
         } else {
-            let span_idx = self.choose_span(&encoded, profile, rng)?;
+            let span_idx = self.choose_span(encoded, profile, rng)?;
             encoded.mask_value_span(span_idx)
         };
         if target.is_empty() || target.len() + 2 > self.cfg.model.max_len {
@@ -404,6 +447,235 @@ impl RptC {
             }
         }
         Ok(trainer.losses().to_vec())
+    }
+
+    /// [`RptC::pretrain_stream_on`] on the process-global thread pool
+    /// (`RPT_THREADS`).
+    pub fn pretrain_stream(
+        &mut self,
+        source: Box<dyn ShardSource>,
+        opts: &StreamOpts,
+        checkpoint: Option<&CheckpointOpts>,
+        resume: Option<&Path>,
+    ) -> Result<Vec<f32>, CorpusError> {
+        self.pretrain_stream_on(rpt_par::ThreadPool::global(), source, opts, checkpoint, resume)
+    }
+
+    /// Streaming pretraining over a sharded corpus (DESIGN.md §"Streaming
+    /// corpus"): shards are consumed epoch-major in manifest order —
+    /// optionally double-buffered through a prefetch thread — and each
+    /// optimizer step folds `opts.accum_steps` micro-batch gradients into
+    /// one Adam update, so neither the corpus nor the effective batch has
+    /// to fit in memory.
+    ///
+    /// The trajectory is a pure function of the logical corpus (the shard
+    /// partition and contents), the config seed, and the options: per-shard
+    /// masking streams are keyed to `(seed, epoch, shard)`, each window's
+    /// dropout seeds are keyed to one `"model"`-stream draw plus the shard
+    /// index within the window, and gradient reduction defers to the same
+    /// fixed-order weighted loop every non-streaming step runs. Transport
+    /// (disk vs memory, prefetch on vs off, thread count) never perturbs
+    /// it — `tests/streaming_equivalence.rs` proves all of this in bytes.
+    ///
+    /// Checkpoints carry the corpus position (epoch, shard, offset) and —
+    /// mid-window — the accumulation state including pending gradients, so
+    /// resume continues bit-identically from any crash point without
+    /// replaying examples.
+    pub fn pretrain_stream_on(
+        &mut self,
+        pool: &rpt_par::ThreadPool,
+        source: Box<dyn ShardSource>,
+        opts: &StreamOpts,
+        checkpoint: Option<&CheckpointOpts>,
+        resume: Option<&Path>,
+    ) -> Result<Vec<f32>, CorpusError> {
+        let accum = opts.accum_steps.max(1) as u64;
+        let micro_size = self.cfg.train.batch_size.div_ceil(accum as usize).max(1);
+        let mask_seed = self.cfg.seed.wrapping_add(2);
+
+        let mut trainer = Trainer::new(self.cfg.train.clone(), self.cfg.model.d_model);
+        if let Some(ckpt) = checkpoint {
+            trainer.checkpoint_every(ckpt.every);
+        }
+        let mut pos = (0u64, 0u64, 0u64);
+        let mut corpus_rng_state: Option<[u64; 4]> = None;
+        // An in-flight accumulation window restored from a checkpoint:
+        // `(micro_done, window_seed)`. The pending gradients themselves are
+        // restored into the trainer by `resume_from`.
+        let mut window: Option<(u64, u64)> = None;
+        if let Some(path) = resume {
+            let state = trainer.resume_from(&mut self.params, path)?;
+            for (name, s) in &state.rng_streams {
+                match name.as_str() {
+                    "model" => self.rng = SmallRng::restore(*s),
+                    "corpus" => corpus_rng_state = Some(*s),
+                    _ => {} // unknown streams are tolerated (forward compat)
+                }
+            }
+            if let Some(c) = &state.corpus {
+                pos = (c.epoch, c.shard, c.offset);
+                if let Some(a) = &c.accum {
+                    window = Some((a.micro_done, a.window_seed));
+                }
+            }
+        }
+        let mut cursor = StreamCursor::start(
+            source,
+            opts.prefetch,
+            mask_seed,
+            pos.0,
+            pos.1,
+            pos.2,
+            corpus_rng_state,
+        )?;
+
+        let total_steps = self.cfg.train.steps;
+        let progress_every = (total_steps / 20).max(1);
+        let mut micro_in_run: u64 = 0;
+        let mut stop = false;
+
+        while !trainer.finished() {
+            let (mut micro_done, window_seed) = match window.take() {
+                Some(w) => w,
+                // One `"model"` draw keys every dropout seed of the window.
+                None => (0, self.rng.gen()),
+            };
+            let step_started = rpt_obs::metrics_enabled().then(std::time::Instant::now);
+            let mut step_tokens = 0u64;
+            while micro_done < accum {
+                let mut srcs = Vec::with_capacity(micro_size);
+                let mut tgts = Vec::with_capacity(micro_size);
+                let mut guard = 0usize;
+                while srcs.len() < micro_size && guard < micro_size * 20 {
+                    guard += 1;
+                    let encoded = cursor.next()?;
+                    if let Some((src, tgt)) =
+                        self.pair_from_encoded(&encoded, None, cursor.rng_mut())
+                    {
+                        srcs.push(src);
+                        tgts.push(tgt);
+                    }
+                }
+                if srcs.is_empty() {
+                    return Err(CorpusError::Format(
+                        "corpus produced no maskable examples".into(),
+                    ));
+                }
+                if step_started.is_some() {
+                    step_tokens += (srcs.iter().map(|s| s.ids.len()).sum::<usize>()
+                        + tgts.iter().map(|t| t.len()).sum::<usize>())
+                        as u64;
+                }
+                let shards = rpt_nn::make_denoising_shards_indexed(
+                    &srcs,
+                    &tgts,
+                    self.cfg.model.max_len,
+                    PAD,
+                    BOS,
+                    EOS,
+                    self.cfg.train.micro_batch,
+                    window_seed,
+                    trainer.pending_shards() as u64,
+                );
+                let model = &self.model;
+                trainer.accum_micro_step(
+                    pool,
+                    &self.params,
+                    &shards,
+                    |s| s.weight as f32,
+                    |tape, params, shard| {
+                        let mut rng = SmallRng::seed_from_u64(shard.seed);
+                        let mut ctx = Ctx::new(tape, params, &mut rng, true);
+                        model.reconstruction_loss(
+                            &mut ctx,
+                            &shard.src,
+                            &shard.tgt_in,
+                            &shard.tgt_out,
+                            PAD,
+                        )
+                    },
+                );
+                micro_done += 1;
+                micro_in_run += 1;
+                if opts.stop_after_micro.is_some_and(|m| micro_in_run >= m) {
+                    stop = true;
+                    break;
+                }
+            }
+            if stop {
+                // Simulated crash: persist the partial window — pending
+                // gradients, window seed, corpus position — and leave. A
+                // resume finishes the window before its Adam step.
+                if let Some(ckpt) = checkpoint {
+                    self.save_stream_checkpoint(
+                        &trainer,
+                        &cursor,
+                        Some((micro_done, window_seed)),
+                        &ckpt.dir.join(TRAIN_STATE_FILE),
+                    )?;
+                }
+                return Ok(trainer.losses().to_vec());
+            }
+            let loss = trainer.accum_apply(&mut self.params);
+            if let Some(t0) = step_started {
+                TRAIN_OBS.tokens.add(step_tokens);
+                let secs = t0.elapsed().as_secs_f64();
+                if secs > 0.0 {
+                    TRAIN_OBS.tokens_per_sec.set(step_tokens as f64 / secs);
+                }
+            }
+            if trainer.steps_done() % progress_every == 0 || trainer.finished() {
+                rpt_obs::info!(
+                    target: "rpt::progress",
+                    "step {}/{} loss {:.4}",
+                    trainer.steps_done(),
+                    total_steps,
+                    loss
+                );
+            }
+            rpt_obs::tick_snapshot();
+            if trainer.checkpoint_due() {
+                if let Some(ckpt) = checkpoint {
+                    self.save_stream_checkpoint(
+                        &trainer,
+                        &cursor,
+                        None,
+                        &ckpt.dir.join(TRAIN_STATE_FILE),
+                    )?;
+                }
+            }
+        }
+        Ok(trainer.losses().to_vec())
+    }
+
+    /// Writes a streaming checkpoint: the regular train state plus corpus
+    /// position, the `"corpus"` masking stream, and — mid-window — the
+    /// accumulation state with its pending gradients.
+    fn save_stream_checkpoint(
+        &self,
+        trainer: &Trainer,
+        cursor: &StreamCursor,
+        window: Option<(u64, u64)>,
+        path: &Path,
+    ) -> Result<(), CorpusError> {
+        let streams = vec![
+            ("model".to_string(), self.rng.state()),
+            ("corpus".to_string(), cursor.rng_state()),
+        ];
+        let mut state = trainer.train_state(&self.params, streams);
+        let (epoch, shard, offset) = cursor.pos();
+        state.corpus = Some(CorpusPos {
+            epoch,
+            shard,
+            offset,
+            accum: window.map(|(micro_done, window_seed)| AccumState {
+                micro_done,
+                window_seed,
+                pending: trainer.export_pending(&self.params),
+            }),
+        });
+        serialize::save_train_file(&self.params, &state, path)?;
+        Ok(())
     }
 
     /// One optimizer step over prepared (source, target) pairs. Exposed so

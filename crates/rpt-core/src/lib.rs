@@ -21,6 +21,7 @@
 //!   warmup + gradient clipping) and vocabulary construction helpers.
 
 pub mod cleaning;
+pub mod corpus;
 pub mod detect;
 pub mod er;
 pub mod ie;
@@ -28,8 +29,9 @@ pub mod train;
 pub mod vocabulary;
 
 pub use cleaning::{
-    CheckpointOpts, CleaningConfig, CleaningEval, FillResult, Filler, MaskPolicy, RptC,
+    CheckpointOpts, CleaningConfig, CleaningEval, FillResult, Filler, MaskPolicy, RptC, StreamOpts,
 };
+pub use corpus::{DiskCorpus, InMemoryCorpus, Manifest, ShardSource};
 pub use detect::{detect_errors, DetectionEval, DetectorConfig, Suspect};
 pub use er::{Blocker, Clusters, Consolidator, ErPipeline, Matcher};
 pub use ie::{IeConfig, RptI};

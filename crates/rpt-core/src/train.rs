@@ -7,7 +7,7 @@ use std::sync::LazyLock;
 
 use rpt_par::ThreadPool;
 use rpt_nn::schedule::linear_warmup;
-use rpt_tensor::serialize::{self, CheckpointError, TrainState};
+use rpt_tensor::serialize::{self, CheckpointError, PendingGrad, TrainState};
 use rpt_tensor::{clip_global_norm, Adam, AdamConfig, ParamId, ParamStore, Tape, Tensor, Var};
 
 /// Training metrics (DESIGN.md §Observability). Values only flow *out* of
@@ -78,6 +78,10 @@ pub struct Trainer {
     adam: Adam,
     losses: Vec<f32>,
     ckpt_every: Option<usize>,
+    /// Open gradient-accumulation window: one `(loss, weight, raw grads)`
+    /// entry per shard folded so far, in fold order. Empty outside a
+    /// window.
+    pending: Vec<(f32, f32, Vec<(ParamId, Tensor)>)>,
 }
 
 fn fresh_adam(opts: &TrainOpts) -> Adam {
@@ -100,6 +104,7 @@ impl Trainer {
             adam,
             losses: Vec::new(),
             ckpt_every: None,
+            pending: Vec::new(),
         }
     }
 
@@ -173,7 +178,33 @@ impl Trainer {
         forward: impl Fn(&Tape, &mut ParamStore, &S) -> Var + Sync,
     ) -> f32 {
         assert!(!shards.is_empty(), "step_data_parallel: no shards");
+        assert!(
+            self.pending.is_empty(),
+            "step_data_parallel inside an open accumulation window"
+        );
         let _t = rpt_obs::span("train.step", &TRAIN_OBS.step_ms);
+        self.accum_micro_step(pool, params, shards, shard_weight, forward);
+        self.accum_apply(params)
+    }
+
+    /// One micro-step of a gradient-accumulation window: computes each
+    /// shard's loss and raw (unscaled) gradients — concurrently on `pool`,
+    /// exactly as [`Trainer::step_data_parallel`] would — and folds them
+    /// into the pending window in shard order, touching no parameters.
+    ///
+    /// [`Trainer::accum_apply`] later reduces the whole window with the
+    /// same weighted fixed-order loop a single `step_data_parallel` over
+    /// the concatenated shard list runs, so k micro-steps followed by one
+    /// apply are bit-identical to the equivalent large batch.
+    pub fn accum_micro_step<S: Sync>(
+        &mut self,
+        pool: &ThreadPool,
+        params: &ParamStore,
+        shards: &[S],
+        shard_weight: impl Fn(&S) -> f32 + Sync,
+        forward: impl Fn(&Tape, &mut ParamStore, &S) -> Var + Sync,
+    ) {
+        assert!(!shards.is_empty(), "accum_micro_step: no shards");
         let shared: &ParamStore = params;
         let results: Vec<(f32, Vec<(ParamId, Tensor)>)> = pool.map(shards.len(), |i| {
             let mut local = shared.clone();
@@ -184,11 +215,24 @@ impl Trainer {
             let mut grads = tape.backward(loss);
             (loss_value, local.collect_grads(&mut grads))
         });
-        let total_w: f32 = shards.iter().map(&shard_weight).sum();
-        let mut loss_value = 0.0f32;
-        let mut acc: Vec<Option<Tensor>> = vec![None; params.len()];
         for (shard, (lv, pg)) in shards.iter().zip(results) {
-            let scale = shard_weight(shard) / total_w.max(f32::MIN_POSITIVE);
+            self.pending.push((lv, shard_weight(shard), pg));
+        }
+    }
+
+    /// The weighted fixed-order reduction over a window's shards: weights
+    /// are summed in fold order, each shard's gradient is scaled by
+    /// `w_i / Σw` and added into the accumulator in fold order. These are
+    /// the float operations `step_data_parallel` has always run.
+    fn reduce_window(
+        n_params: usize,
+        pending: Vec<(f32, f32, Vec<(ParamId, Tensor)>)>,
+    ) -> (f32, Vec<(ParamId, Tensor)>) {
+        let total_w: f32 = pending.iter().map(|(_, w, _)| *w).sum();
+        let mut loss_value = 0.0f32;
+        let mut acc: Vec<Option<Tensor>> = vec![None; n_params];
+        for (lv, w, pg) in pending {
+            let scale = w / total_w.max(f32::MIN_POSITIVE);
             loss_value += lv * scale;
             for (id, mut g) in pg {
                 g.map_inplace(|x| x * scale);
@@ -208,7 +252,83 @@ impl Trainer {
             .enumerate()
             .filter_map(|(i, g)| g.map(|g| (ParamId::from_index(i), g)))
             .collect();
+        (loss_value, pg)
+    }
+
+    /// The window's weighted loss and reduced gradient, *without* applying
+    /// an update or closing the window. Exposed for the finite-difference
+    /// gradient checks.
+    pub fn accum_reduced(&self, params: &ParamStore) -> (f32, Vec<(ParamId, Tensor)>) {
+        Self::reduce_window(params.len(), self.pending.clone())
+    }
+
+    /// Closes the accumulation window: reduces all pending shard gradients
+    /// in fold order and applies the single optimizer step. Returns the
+    /// window's weighted mean loss.
+    pub fn accum_apply(&mut self, params: &mut ParamStore) -> f32 {
+        assert!(!self.pending.is_empty(), "accum_apply: empty window");
+        let pending = std::mem::take(&mut self.pending);
+        let (loss_value, pg) = Self::reduce_window(params.len(), pending);
         self.apply_update(params, pg, loss_value)
+    }
+
+    /// Shards folded into the open accumulation window so far.
+    pub fn pending_shards(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drops the open accumulation window (e.g. before a fresh resume).
+    pub fn clear_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    /// The open window's shards with name-keyed gradients, for embedding
+    /// in a mid-window checkpoint.
+    pub fn export_pending(&self, params: &ParamStore) -> Vec<PendingGrad> {
+        self.pending
+            .iter()
+            .map(|(loss, weight, pg)| PendingGrad {
+                loss: *loss,
+                weight: *weight,
+                grads: pg
+                    .iter()
+                    .map(|(id, g)| (params.name(*id).to_string(), g.clone()))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Restores a checkpointed mid-window state, replacing any open
+    /// window. Gradient order within and across shards is preserved, so a
+    /// resumed window reduces bit-identically to the uninterrupted one.
+    pub fn import_pending(
+        &mut self,
+        params: &ParamStore,
+        pending: &[PendingGrad],
+    ) -> Result<(), CheckpointError> {
+        let mut restored = Vec::with_capacity(pending.len());
+        for p in pending {
+            let mut pg = Vec::with_capacity(p.grads.len());
+            for (name, g) in &p.grads {
+                let id = params.find(name).ok_or_else(|| {
+                    CheckpointError::Mismatch(format!(
+                        "pending gradient for unknown parameter {name}"
+                    ))
+                })?;
+                if params.value(id).shape() != g.shape() {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "pending gradient for {} has shape {:?} but the parameter is {:?}",
+                        name,
+                        g.shape(),
+                        params.value(id).shape()
+                    )));
+                }
+                pg.push((id, g.clone()));
+            }
+            restored.push((p.loss, p.weight, pg));
+        }
+        self.pending = restored;
+        Ok(())
     }
 
     /// Number of steps taken so far.
@@ -253,6 +373,7 @@ impl Trainer {
             rng_streams,
             steps_done: self.steps_done() as u64,
             losses: self.losses.clone(),
+            corpus: None,
         }
     }
 
@@ -272,6 +393,10 @@ impl Trainer {
             None => self.adam = fresh_adam(&self.opts),
         }
         self.losses = state.losses.clone();
+        self.pending.clear();
+        if let Some(accum) = state.corpus.as_ref().and_then(|c| c.accum.as_ref()) {
+            self.import_pending(params, &accum.pending)?;
+        }
         Ok(())
     }
 

@@ -523,6 +523,32 @@ pub fn make_denoising_shards(
     micro_batch: usize,
     base_seed: u64,
 ) -> Vec<DenoisingShard> {
+    make_denoising_shards_indexed(
+        srcs, tgts, max_len, pad_id, bos_id, eos_id, micro_batch, base_seed, 0,
+    )
+}
+
+/// [`make_denoising_shards`] whose first shard is numbered `first_index`
+/// in the seed stride instead of `0`.
+///
+/// Gradient accumulation builds one logical batch from several
+/// micro-steps; passing the count of shards already folded as
+/// `first_index` continues the `base_seed + i·φ` sequence across
+/// micro-steps, so the window's shards carry exactly the seeds one
+/// [`make_denoising_shards`] call over the concatenated batch would
+/// assign — the accumulation bit-identity proof rests on this.
+#[allow(clippy::too_many_arguments)]
+pub fn make_denoising_shards_indexed(
+    srcs: &[crate::batch::Sequence],
+    tgts: &[Vec<usize>],
+    max_len: usize,
+    pad_id: usize,
+    bos_id: usize,
+    eos_id: usize,
+    micro_batch: usize,
+    base_seed: u64,
+    first_index: u64,
+) -> Vec<DenoisingShard> {
     assert_eq!(srcs.len(), tgts.len(), "source/target count mismatch");
     let chunk = if micro_batch == 0 {
         srcs.len().max(1)
@@ -536,12 +562,13 @@ pub fn make_denoising_shards(
             let src = TokenBatch::from_sequences(s, max_len, pad_id);
             let (tgt_in, tgt_out) = TokenBatch::teacher_forcing(t, max_len, pad_id, bos_id, eos_id);
             let weight = tgt_out.iter().filter(|&&tok| tok != pad_id).count();
+            let index = first_index.wrapping_add(i as u64);
             DenoisingShard {
                 src,
                 tgt_in,
                 tgt_out,
                 weight,
-                seed: base_seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                seed: base_seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             }
         })
         .collect()

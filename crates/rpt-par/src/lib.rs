@@ -60,6 +60,10 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, LazyLock, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
+pub mod prefetch;
+
+pub use prefetch::{PrefetchError, Prefetcher};
+
 /// Pool metrics (see DESIGN.md §Observability for the name registry).
 /// Handles are resolved once per process; recording is inert unless
 /// `rpt_obs::set_metrics_enabled(true)` was called.

@@ -87,6 +87,12 @@ pub trait CheckpointIo {
     fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()>;
     /// Flushes the directory entry (the rename itself) to stable storage.
     fn sync_dir(&mut self, dir: &Path) -> io::Result<()>;
+    /// Reads the whole file at `path`. Streaming-corpus shard reads go
+    /// through this hook so the fault harness can serve torn or failing
+    /// reads; the default is the plain filesystem.
+    fn read_file(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
 }
 
 /// The real filesystem.
@@ -126,6 +132,11 @@ pub enum Fault {
     /// Fail the directory fsync *after* a successful rename (crash just
     /// after commit: the new checkpoint is already in place).
     SyncDir,
+    /// Serve only the first `n` bytes of the file on the next read — a
+    /// torn read (the file on disk is fine; the reader saw a prefix).
+    ReadTruncate(usize),
+    /// Fail the next read outright (media error / vanished file).
+    ReadFail,
 }
 
 /// A [`CheckpointIo`] that performs real filesystem operations but
@@ -188,6 +199,19 @@ impl CheckpointIo for FaultyIo {
             return Err(self.injected());
         }
         self.inner.sync_dir(dir)
+    }
+
+    fn read_file(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.fault {
+            Some(Fault::ReadTruncate(n)) => {
+                self.injected();
+                let bytes = self.inner.read_file(path)?;
+                let n = n.min(bytes.len());
+                Ok(bytes[..n].to_vec())
+            }
+            Some(Fault::ReadFail) => Err(self.injected()),
+            _ => self.inner.read_file(path),
+        }
     }
 }
 
@@ -467,6 +491,54 @@ pub struct TrainState {
     pub steps_done: u64,
     /// Loss recorded at each completed step.
     pub losses: Vec<f32>,
+    /// Streaming-corpus position; `None` for in-memory runs. Written as a
+    /// `"corpus"` key inside `"train"`, which pre-streaming readers ignore
+    /// under the unknown-keys rule — so v2 files stay loadable everywhere.
+    pub corpus: Option<CorpusPos>,
+}
+
+/// Mid-corpus position of a streaming pretraining run: which shard of
+/// which epoch the trainer was consuming, how many examples of that shard
+/// are already folded in, and — when the snapshot lands inside a
+/// gradient-accumulation window — the partial window itself, so resume
+/// replays nothing.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusPos {
+    /// Completed passes over the corpus before the current one.
+    pub epoch: u64,
+    /// Index of the shard being consumed (manifest order).
+    pub shard: u64,
+    /// Examples of that shard already consumed.
+    pub offset: u64,
+    /// Partial accumulation window, if the snapshot was taken mid-window.
+    pub accum: Option<AccumState>,
+}
+
+/// A partially filled gradient-accumulation window: the micro-steps done
+/// so far, the seed the window's dropout shards were keyed from, and the
+/// unapplied per-shard gradients awaiting the window's single Adam step.
+#[derive(Debug, Clone, Default)]
+pub struct AccumState {
+    /// Micro-steps already folded into this window.
+    pub micro_done: u64,
+    /// Base seed of the window's indexed shard-seed sequence, serialized
+    /// as a hex word so the full `u64` survives JSON exactly.
+    pub window_seed: u64,
+    /// One entry per data-parallel shard already folded, in global shard
+    /// order (micro-steps contribute their shards in sequence).
+    pub pending: Vec<PendingGrad>,
+}
+
+/// One shard's contribution awaiting the window's optimizer step.
+#[derive(Debug, Clone)]
+pub struct PendingGrad {
+    /// Mean loss of the shard.
+    pub loss: f32,
+    /// Example weight of the shard (numerator of its share of the
+    /// window's weighted gradient mean).
+    pub weight: f32,
+    /// Named raw (unscaled) gradients, same layout as parameter records.
+    pub grads: Vec<(String, Tensor)>,
 }
 
 /// Serializes parameters plus full training state (format_version 2).
@@ -502,6 +574,10 @@ pub fn train_state_to_json(store: &ParamStore, state: &TrainState) -> String {
             })
         })
         .collect();
+    let corpus = match &state.corpus {
+        None => Json::Null,
+        Some(c) => corpus_pos_json(c),
+    };
     json!({
         "format_version": TRAIN_FORMAT_VERSION,
         "params": param_records(store),
@@ -510,9 +586,126 @@ pub fn train_state_to_json(store: &ParamStore, state: &TrainState) -> String {
             "rng": rng,
             "steps_done": state.steps_done,
             "losses": floats_json(&state.losses),
+            "corpus": corpus,
         },
     })
     .to_string()
+}
+
+fn corpus_pos_json(c: &CorpusPos) -> Json {
+    let accum = match &c.accum {
+        None => Json::Null,
+        Some(a) => json!({
+            "micro_done": a.micro_done,
+            "window_seed": format!("{:#x}", a.window_seed),
+            "pending": a
+                .pending
+                .iter()
+                .map(|p| {
+                    json!({
+                        "loss": p.loss,
+                        "weight": p.weight,
+                        "grads": p
+                            .grads
+                            .iter()
+                            .map(|(name, g)| {
+                                json!({
+                                    "name": name.as_str(),
+                                    "shape": shape_json(g.shape()),
+                                    "data": floats_json(g.data()),
+                                })
+                            })
+                            .collect::<Vec<_>>(),
+                    })
+                })
+                .collect::<Vec<_>>(),
+        }),
+    };
+    json!({
+        "epoch": c.epoch,
+        "shard": c.shard,
+        "offset": c.offset,
+        "accum": accum,
+    })
+}
+
+fn parse_corpus_pos(store: &ParamStore, doc: &Json) -> Result<CorpusPos, CheckpointError> {
+    let field = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| structure(format!("corpus position without {key}")))
+    };
+    let accum = match doc.get("accum") {
+        None | Some(Json::Null) => None,
+        Some(a) => {
+            let micro_done = a
+                .get("micro_done")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| structure("accum state without micro_done"))?;
+            let hex = a
+                .get("window_seed")
+                .and_then(Json::as_str)
+                .and_then(|s| s.strip_prefix("0x"))
+                .ok_or_else(|| structure("accum state without hex window_seed"))?;
+            let window_seed = u64::from_str_radix(hex, 16)
+                .map_err(|_| structure("accum state has a malformed window_seed"))?;
+            let mut pending = Vec::new();
+            for record in a
+                .get("pending")
+                .and_then(Json::as_array)
+                .ok_or_else(|| structure("accum state without pending array"))?
+            {
+                let loss = record
+                    .get("loss")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| structure("pending gradient without loss"))?
+                    as f32;
+                let weight = record
+                    .get("weight")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| structure("pending gradient without weight"))?
+                    as f32;
+                let mut grads = Vec::new();
+                for g in record
+                    .get("grads")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| structure("pending gradient without grads array"))?
+                {
+                    let name = g
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| structure("pending gradient record without name"))?;
+                    let shape = parse_shape(g, name, "shape")?;
+                    let data = parse_floats(g, name, "data")?;
+                    let t = Tensor::from_vec(data, &shape)
+                        .map_err(|e| structure(format!("pending gradient for {name}: {e}")))?;
+                    if let Some(id) = store.find(name) {
+                        if store.value(id).shape() != shape.as_slice() {
+                            return Err(structure(format!(
+                                "pending gradient for {} has shape {:?} but the parameter is {:?}",
+                                name,
+                                shape,
+                                store.value(id).shape()
+                            )));
+                        }
+                    }
+                    grads.push((name.to_string(), t));
+                }
+                pending.push(PendingGrad { loss, weight, grads });
+            }
+            Some(AccumState {
+                micro_done,
+                window_seed,
+                pending,
+            })
+        }
+    };
+    Ok(CorpusPos {
+        epoch: field("epoch")?,
+        shard: field("shard")?,
+        offset: field("offset")?,
+        accum,
+    })
 }
 
 fn parse_adam(store: &ParamStore, doc: &Json) -> Result<AdamState, CheckpointError> {
@@ -638,11 +831,16 @@ pub fn load_train_json(
             )));
         }
     }
+    let corpus = match train.get("corpus") {
+        None | Some(Json::Null) => None,
+        Some(c) => Some(parse_corpus_pos(store, c)?),
+    };
     Ok(TrainState {
         adam,
         rng_streams,
         steps_done,
         losses,
+        corpus,
     })
 }
 

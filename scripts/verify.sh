@@ -30,6 +30,13 @@
 #    and show int8 beating f32, and a quantize-then-serve smoke drive
 #    (`rpt quantize` a saved model, serve it with --quant, check
 #    /healthz reports quant and /v1/clean still answers).
+# 9. The streaming gate: the streaming-equivalence and fault-injection
+#    suites at 4 threads (disk vs memory, prefetch vs sync, accumulation
+#    vs large batch, mid-window kills — all bit-identical), a fast-mode
+#    streaming bench whose artifact must parse with positive throughput
+#    in every arm, and a CLI smoke drive: `rpt shard` a corpus, run a
+#    short accumulated `rpt pretrain` with checkpoints (the kill), then
+#    --resume from the mid-corpus train state to completion.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,6 +46,13 @@ cargo test -q --offline --workspace
 RPT_THREADS=4 cargo test -q --offline --test parallel_equivalence
 RPT_THREADS=4 cargo test -q --offline --test decode_equivalence
 RPT_THREADS=4 cargo test -q --offline --release --test resume_equivalence
+
+# Streaming-corpus gate: disk-backed sharded training (prefetch on and
+# off) must be byte-identical to in-memory training, accumulation to the
+# equivalent large batch, and mid-shard / mid-window kills resumable —
+# re-proved with a 4-thread global pool.
+RPT_THREADS=4 cargo test -q --offline --release --test streaming_equivalence
+RPT_THREADS=4 cargo test -q --offline --release --test streaming_fault_injection
 
 # Serving bit-identity gate: the micro-batched server must return
 # byte-identical decodes with and without a threaded global pool.
@@ -166,6 +180,35 @@ print(f"verify: quant bench OK (speedup {s:.3f})")
 PY
 fi
 
+# Streaming-throughput bench smoke: the artifact must parse and carry
+# the tokens/sec for all three transport arms plus the prefetch overlap
+# ratio. No speed bar here — the arms are bit-identical by construction
+# (the bench asserts it on the loss curves) and fast mode is dominated
+# by fixed costs; the committed full-mode bench_results/
+# bench_streaming.json holds the reference numbers.
+RPT_BENCH_FAST=1 RPT_BENCH_DIR="$smoke_dir" \
+    cargo bench -q --offline -p rpt-bench --bench micro -- streaming
+test -s "$smoke_dir/bench_streaming.json" || {
+    echo "verify: streaming bench artifact missing" >&2
+    exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$smoke_dir" <<'PY'
+import json, sys
+d = sys.argv[1]
+s = json.load(open(f"{d}/bench_streaming.json"))
+for key in ("cpu_features", "threads", "shards", "tuples",
+            "in_memory_tokens_per_sec", "disk_sync_tokens_per_sec",
+            "disk_prefetch_tokens_per_sec", "overlap_ratio"):
+    assert key in s, f"bench_streaming missing {key}"
+for key in ("in_memory_tokens_per_sec", "disk_sync_tokens_per_sec",
+            "disk_prefetch_tokens_per_sec"):
+    assert s[key] > 0, f"bench_streaming {key} not positive"
+assert 0.0 <= s["overlap_ratio"] <= 1.0, "overlap_ratio out of range"
+print(f"verify: streaming bench OK (overlap {s['overlap_ratio']:.3f})")
+PY
+fi
+
 # Crash-recovery smoke drive: checkpointed training must leave a rolling
 # train-state file, and --resume must accept it and finish the run.
 cat > "$smoke_dir/toy.csv" <<'CSV'
@@ -193,6 +236,37 @@ test -s "$smoke_dir/ckpt/train_state.json" || {
     --output "$smoke_dir/out2.csv" >/dev/null
 test -s "$smoke_dir/out2.csv" || {
     echo "verify: resumed clean run produced no output" >&2
+    exit 1
+}
+
+# Streaming smoke drive: build a sharded corpus with `rpt shard`, stream
+# a short accumulated pretraining run over it with a checkpoint dir (the
+# "kill": the run ends with the rolling mid-corpus train-state on disk),
+# then --resume that state to a longer step count. The resumed run must
+# accept the corpus-position checkpoint and finish.
+./target/release/rpt shard "$smoke_dir/corpus" --shard-size 16 --rows 40 >/dev/null
+test -s "$smoke_dir/corpus/manifest.json" || {
+    echo "verify: rpt shard wrote no manifest" >&2
+    exit 1
+}
+./target/release/rpt pretrain "$smoke_dir/corpus" --steps 10 \
+    --batch-size 8 --micro-batch 2 --accum-steps 2 \
+    --checkpoint-dir "$smoke_dir/stream-ckpt" >/dev/null
+test -s "$smoke_dir/stream-ckpt/train_state.json" || {
+    echo "verify: streaming train-state checkpoint missing" >&2
+    exit 1
+}
+grep -q '"epoch"' "$smoke_dir/stream-ckpt/train_state.json" || {
+    echo "verify: streaming checkpoint carries no corpus position" >&2
+    exit 1
+}
+./target/release/rpt pretrain "$smoke_dir/corpus" --steps 20 \
+    --batch-size 8 --micro-batch 2 --accum-steps 2 --no-prefetch \
+    --checkpoint-dir "$smoke_dir/stream-ckpt" \
+    --resume "$smoke_dir/stream-ckpt/train_state.json" \
+    --save "$smoke_dir/stream-model.json" >/dev/null
+test -s "$smoke_dir/stream-model.json" || {
+    echo "verify: resumed streaming run saved no model" >&2
     exit 1
 }
 

@@ -40,6 +40,7 @@ fn generation(gen: f32) -> (ParamStore, TrainState) {
         rng_streams: vec![("model".to_string(), [gen as u64 + 1, 2, 3, 4])],
         steps_done: gen as u64,
         losses: vec![gen; gen as usize],
+        corpus: None,
     };
     (store, state)
 }

@@ -298,3 +298,101 @@ fn mlp_shaped_composite() {
         probe_loss(t, h, 61)
     });
 }
+
+// ---------------------------------------------------------------------
+// Gradient accumulation: FD check through a whole window
+// ---------------------------------------------------------------------
+
+/// `(input, probe, weight)` — one data-parallel shard of the toy model
+/// `loss = Σ probe ⊙ tanh(x · w)`.
+type AccumShard = (Tensor, Tensor, f32);
+
+/// The window loss the accumulated gradient must differentiate: the
+/// weight-normalized mean of the per-shard losses, exactly as
+/// `Trainer::reduce_window` folds it.
+fn window_loss(w: &Tensor, shards: &[AccumShard]) -> f32 {
+    let total: f32 = shards.iter().map(|s| s.2).sum();
+    let mut loss = 0.0f32;
+    for (x, probe, weight) in shards {
+        let tape = Tape::new();
+        let wv = tape.constant(w.clone());
+        let xv = tape.constant(x.clone());
+        let pv = tape.constant(probe.clone());
+        let l = tape.sum_all(tape.mul(tape.tanh(tape.matmul(xv, wv)), pv));
+        loss += tape.value(l).data()[0] * (weight / total.max(f32::MIN_POSITIVE));
+    }
+    loss
+}
+
+#[test]
+fn accumulated_gradient_matches_finite_difference_of_window_loss() {
+    use rpt::core::train::{TrainOpts, Trainer};
+    use rpt::par::ThreadPool;
+    use rpt_tensor::ParamStore;
+
+    let w0 = randt(&[4, 3], 70);
+    let shards: Vec<AccumShard> = (0..3)
+        .map(|i| {
+            (
+                randt(&[2, 4], 71 + i),
+                randt(&[2, 3], 81 + i),
+                [2.0f32, 1.0, 3.0][i as usize],
+            )
+        })
+        .collect();
+    let forward = |tape: &Tape, params: &mut ParamStore, shard: &AccumShard| {
+        let id = params.find("w").unwrap();
+        let wv = params.bind(tape, id);
+        let xv = tape.constant(shard.0.clone());
+        let pv = tape.constant(shard.1.clone());
+        tape.sum_all(tape.mul(tape.tanh(tape.matmul(xv, wv)), pv))
+    };
+
+    // Fold the window across TWO micro-steps with an uneven split, the way
+    // streaming training does, then reduce without applying.
+    let pool = ThreadPool::new(2);
+    let mut params = ParamStore::new();
+    params.register("w", w0.clone());
+    let mut trainer = Trainer::new(TrainOpts::default(), 4);
+    trainer.accum_micro_step(&pool, &params, &shards[..2], |s| s.2, forward);
+    trainer.accum_micro_step(&pool, &params, &shards[2..], |s| s.2, forward);
+    assert_eq!(trainer.pending_shards(), 3);
+    let (loss, grads) = trainer.accum_reduced(&params);
+    assert!(
+        (loss - window_loss(&w0, &shards)).abs() < 1e-5,
+        "reduced window loss disagrees with the direct evaluation"
+    );
+    assert_eq!(grads.len(), 1);
+    let analytic = &grads[0].1;
+
+    // Central finite difference of the window loss, element by element.
+    let eps = 1e-2f32;
+    let mut worst = 0.0f32;
+    for i in 0..w0.numel() {
+        let mut plus = w0.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = w0.clone();
+        minus.data_mut()[i] -= eps;
+        let fd = (window_loss(&plus, &shards) - window_loss(&minus, &shards)) / (2.0 * eps);
+        worst = worst.max((analytic.data()[i] - fd).abs());
+    }
+    assert!(
+        worst < 1e-2,
+        "accumulated gradient: FD error {worst} exceeds tolerance"
+    );
+
+    // The same three shards folded in ONE micro-step reduce to the exact
+    // same bits: accumulation is pure deferral of the reduction loop.
+    let mut one_shot = Trainer::new(TrainOpts::default(), 4);
+    one_shot.accum_micro_step(&pool, &params, &shards, |s| s.2, forward);
+    let (loss1, grads1) = one_shot.accum_reduced(&params);
+    assert_eq!(loss.to_bits(), loss1.to_bits());
+    for ((_, a), (_, b)) in grads.iter().zip(grads1.iter()) {
+        let same = a
+            .data()
+            .iter()
+            .zip(b.data().iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "split vs one-shot window gradients differ in bits");
+    }
+}

@@ -435,3 +435,173 @@ fn confusion_bounds() {
         assert!((0.0..=1.0).contains(&c.f1()), "case {case}");
     }
 }
+
+/// Corpus manifests round-trip exactly: shard files, tuple counts, the
+/// hex-encoded vocab hash, and the format version all survive the JSON
+/// cycle for arbitrary shard layouts.
+#[test]
+fn corpus_manifest_roundtrip_preserves_every_field() {
+    use rpt::core::corpus::{Manifest, ShardEntry, CORPUS_FORMAT_VERSION};
+    let mut rng = SmallRng::seed_from_u64(0xC0DEC);
+    for case in 0..CASES {
+        let n = rng.gen_range(1..9usize);
+        let shards: Vec<ShardEntry> = (0..n)
+            .map(|i| ShardEntry {
+                file: format!("shard-{i:05}.bin"),
+                tuples: rng.gen_range(0..1_000_000u64),
+            })
+            .collect();
+        let m = Manifest {
+            format_version: CORPUS_FORMAT_VERSION,
+            vocab_hash: rng.gen(),
+            shards,
+        };
+        let back = Manifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m, "case {case}: manifest drifted through JSON");
+    }
+}
+
+/// Shard splitting never loses, duplicates, or reorders a tuple — at any
+/// shard size, including 1-tuple shards, oversize shards, and a ragged
+/// final shard — and the split survives the disk round-trip intact.
+#[test]
+fn shard_boundaries_preserve_tuple_integrity_at_random_sizes() {
+    use rpt::core::corpus::{self, DiskCorpus, EncodedExample, ShardSource};
+    let mut b = VocabBuilder::new();
+    b.add_text("shard property vocab");
+    let vocab = b.build(1, 64);
+    let mut rng = SmallRng::seed_from_u64(0x5A4D);
+    for case in 0..24 {
+        let n = rng.gen_range(1..30usize);
+        let examples: Vec<EncodedExample> = (0..n)
+            .map(|_| {
+                let len = rng.gen_range(1..10usize);
+                let spans = (0..rng.gen_range(0..3usize))
+                    .map(|_| {
+                        let s = rng.gen_range(0..len as u32);
+                        let e = rng.gen_range(s..=len as u32);
+                        (rng.gen_range(0..6u32), s, e)
+                    })
+                    .collect();
+                EncodedExample {
+                    ids: (0..len).map(|_| rng.gen_range(0..5000u32)).collect(),
+                    cols: (0..len).map(|_| rng.gen_range(0..6u32)).collect(),
+                    spans,
+                }
+            })
+            .collect();
+        // 1-tuple shards, an exact fit, an oversize single shard, and a
+        // random (usually ragged) split, cycled across cases
+        let shard_size = [1, n, n + 3, rng.gen_range(1..=n)][case % 4];
+        let shards = corpus::split_shards(examples.clone(), shard_size);
+        let flat: Vec<EncodedExample> = shards.iter().flatten().cloned().collect();
+        assert_eq!(flat, examples, "case {case}: split lost or reordered tuples");
+        for (i, s) in shards.iter().enumerate() {
+            assert!(!s.is_empty(), "case {case}: empty shard {i}");
+            if i + 1 < shards.len() {
+                assert_eq!(s.len(), shard_size, "case {case}: interior shard {i} ragged");
+            } else {
+                assert!(s.len() <= shard_size, "case {case}: final shard overflows");
+            }
+        }
+        let dir = std::env::temp_dir().join(format!("rpt-prop-shards-{case}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        corpus::write_corpus(&dir, &shards, &vocab).unwrap();
+        let mut disk = DiskCorpus::open(&dir).unwrap();
+        let mut roundtrip = Vec::new();
+        for i in 0..shards.len() {
+            roundtrip.extend(disk.load_shard(i).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(roundtrip, examples, "case {case}: disk round-trip drifted");
+    }
+}
+
+/// Format-v2 train states carrying a corpus position (including a
+/// mid-window accumulation state with pending gradients) round-trip
+/// bit-exactly — and v1 "old readers" that only understand params ignore
+/// the unknown keys instead of failing.
+#[test]
+fn v2_corpus_position_roundtrips_and_old_readers_ignore_it() {
+    use rpt::tensor::serialize::{load_json, AccumState, CorpusPos, PendingGrad};
+    let mut rng = SmallRng::seed_from_u64(0xC0425);
+    for case in 0..24 {
+        let len = rng.gen_range(1..5usize);
+        let tensor = |rng: &mut SmallRng| {
+            let data: Vec<f32> = (0..len)
+                .map(|_| f32::from_bits(rng.gen::<u32>()))
+                .map(|x| if x.is_finite() { x } else { 0.25 })
+                .collect();
+            Tensor::from_vec(data, &[len]).unwrap()
+        };
+        let mut store = ParamStore::new();
+        store.register("w", tensor(&mut rng));
+        let accum = if case % 3 == 0 {
+            None
+        } else {
+            let n_pending = rng.gen_range(1..4usize);
+            Some(AccumState {
+                micro_done: rng.gen_range(0..4u64),
+                window_seed: rng.gen(),
+                pending: (0..n_pending)
+                    .map(|_| PendingGrad {
+                        loss: rng.gen_range(0.0..20.0f64) as f32,
+                        weight: rng.gen_range(0.1..4.0f64) as f32,
+                        grads: vec![("w".to_string(), tensor(&mut rng))],
+                    })
+                    .collect(),
+            })
+        };
+        let mut state = TrainState::default();
+        state.steps_done = rng.gen_range(0..50u64);
+        state.losses = (0..state.steps_done)
+            .map(|_| rng.gen_range(0.0..20.0f64) as f32)
+            .collect();
+        state.corpus = Some(CorpusPos {
+            epoch: rng.gen_range(0..10u64),
+            shard: rng.gen_range(0..100u64),
+            offset: rng.gen_range(0..10_000u64),
+            accum,
+        });
+
+        let doc = train_state_to_json(&store, &state);
+        let mut store2 = ParamStore::new();
+        store2.register("w", Tensor::zeros(&[len]));
+        let back = load_train_json(&mut store2, &doc).unwrap();
+        let orig = state.corpus.as_ref().unwrap();
+        let got = back.corpus.as_ref().expect("corpus position dropped");
+        assert_eq!(got.epoch, orig.epoch, "case {case}");
+        assert_eq!(got.shard, orig.shard, "case {case}");
+        assert_eq!(got.offset, orig.offset, "case {case}");
+        match (&orig.accum, &got.accum) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.micro_done, b.micro_done, "case {case}");
+                assert_eq!(a.window_seed, b.window_seed, "case {case}");
+                assert_eq!(a.pending.len(), b.pending.len(), "case {case}");
+                for (pa, pb) in a.pending.iter().zip(&b.pending) {
+                    assert_eq!(pa.loss.to_bits(), pb.loss.to_bits(), "case {case}");
+                    assert_eq!(pa.weight.to_bits(), pb.weight.to_bits(), "case {case}");
+                    for ((na, ga), (nb, gb)) in pa.grads.iter().zip(&pb.grads) {
+                        assert_eq!(na, nb, "case {case}");
+                        let bits =
+                            |t: &Tensor| t.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                        assert_eq!(bits(ga), bits(gb), "case {case}: pending grad drifted");
+                    }
+                }
+            }
+            _ => panic!("case {case}: accumulation state dropped or invented"),
+        }
+
+        // The v1 reader only knows params; the "train" object (and the
+        // corpus position inside it) must be ignored, not rejected.
+        let mut store3 = ParamStore::new();
+        store3.register("w", Tensor::zeros(&[len]));
+        load_json(&mut store3, &doc).unwrap();
+        for ((_, a), (_, b)) in store.iter().zip(store3.iter()) {
+            let bits = |t: &Tensor| t.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(a), bits(b), "case {case}: v1 reader params drifted");
+        }
+    }
+}

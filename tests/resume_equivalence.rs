@@ -211,3 +211,96 @@ fn resume_works_across_thread_counts() {
     );
     assert_eq!(bytes, straight_bytes);
 }
+
+#[test]
+fn kill_inside_accumulation_window_resumes_across_thread_counts() {
+    // Streaming + gradient accumulation: kill at accumulation step k —
+    // i.e. mid-window, with k-1 micro-gradients already folded — and
+    // resume under 1 and under 4 threads. The pending gradients travel
+    // through the checkpoint, so every variant lands on the straight
+    // run's bytes.
+    use rpt::core::cleaning::StreamOpts;
+    use rpt::core::corpus::{self, InMemoryCorpus, ShardSource};
+    use rpt::tokenizer::TupleEncoder;
+
+    const ACCUM: usize = 2;
+    let c = corpus();
+    let refs: Vec<&Table> = c.tables.iter().collect();
+    let encoder = TupleEncoder::new(c.vocab.clone(), Default::default());
+    let shards = corpus::split_shards(corpus::encode_tables(&encoder, &refs), 7);
+    let source = || -> Box<dyn ShardSource> { Box::new(InMemoryCorpus::new(shards.clone(), &c.vocab)) };
+    let opts = StreamOpts {
+        accum_steps: ACCUM,
+        prefetch: true,
+        stop_after_micro: None,
+    };
+
+    let straight_dir = fresh_dir("accum-straight");
+    let mut straight = RptC::new(c.vocab.clone(), equivalence_config());
+    let straight_losses: Vec<u32> = straight
+        .pretrain_stream_on(
+            &ThreadPool::new(1),
+            source(),
+            &opts,
+            Some(&CheckpointOpts {
+                dir: straight_dir.clone(),
+                every: STEPS,
+            }),
+            None,
+        )
+        .unwrap()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    let straight_bytes = fs::read(straight_dir.join(TRAIN_STATE_FILE)).unwrap();
+    fs::remove_dir_all(&straight_dir).ok();
+
+    for k in [1usize, STEPS / 2] {
+        for resume_threads in [1usize, 4] {
+            let tag = format!("accum-k{k}-rt{resume_threads}");
+            let dir = fresh_dir(&tag);
+            // stop one micro-step into accumulation window k
+            let stop = (k * ACCUM - 1) as u64;
+            let mut victim = RptC::new(c.vocab.clone(), equivalence_config());
+            victim
+                .pretrain_stream_on(
+                    &ThreadPool::new(1),
+                    source(),
+                    &StreamOpts {
+                        stop_after_micro: Some(stop),
+                        ..opts.clone()
+                    },
+                    Some(&CheckpointOpts {
+                        dir: dir.clone(),
+                        every: STEPS,
+                    }),
+                    None,
+                )
+                .unwrap();
+            drop(victim);
+
+            let state_path = dir.join(TRAIN_STATE_FILE);
+            assert!(state_path.exists(), "{tag}: kill left no checkpoint");
+            let mut resumed = RptC::new(c.vocab.clone(), equivalence_config());
+            let losses: Vec<u32> = resumed
+                .pretrain_stream_on(
+                    &ThreadPool::new(resume_threads),
+                    source(),
+                    &opts,
+                    Some(&CheckpointOpts {
+                        dir: dir.clone(),
+                        every: STEPS,
+                    }),
+                    Some(&state_path),
+                )
+                .unwrap()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let bytes = fs::read(dir.join(TRAIN_STATE_FILE)).unwrap();
+            fs::remove_dir_all(&dir).ok();
+            assert_eq!(losses, straight_losses, "{tag}: loss curve diverged");
+            assert_eq!(bytes, straight_bytes, "{tag}: checkpoint bytes diverged");
+        }
+    }
+}
