@@ -499,6 +499,62 @@ fn bench_decode() {
     rpt_bench::emit_artifact("bench_decode", &rpt_json::Json::Object(root));
 }
 
+/// Keep-alive serve load-generator client: owns one connection and
+/// issues `/v1/clean` requests back-to-back over it, so per-request
+/// connect and connection-thread-spawn costs don't dilute the throughput
+/// ratios the artifacts assert. With `trace_header` the client opts into
+/// the `x-rpt-trace` stage-summary response header, so the traced arm of
+/// `bench_obs` pays the header-render cost too. Returns per-request
+/// latencies.
+fn serve_load_client(addr: &str, body: &str, reqs: usize, trace_header: bool) -> Vec<Duration> {
+    use std::io::{Read, Write};
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let trace = if trace_header { "x-rpt-trace: 1\r\n" } else { "" };
+    let req = format!(
+        "POST /v1/clean HTTP/1.1\r\nHost: bench\r\n{trace}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut lats = Vec::with_capacity(reqs);
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    for _ in 0..reqs {
+        let t0 = Instant::now();
+        stream.write_all(req.as_bytes()).expect("write");
+        // read one response: headers, then content-length body bytes
+        let header_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = stream.read(&mut chunk).expect("read");
+            assert!(n > 0, "server closed mid-response");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+        assert!(
+            head.starts_with("HTTP/1.1 200"),
+            "request failed: {}",
+            head.lines().next().unwrap_or("")
+        );
+        let len: usize = head
+            .lines()
+            .find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                k.eq_ignore_ascii_case("content-length")
+                    .then(|| v.trim().parse().ok())?
+            })
+            .expect("content-length");
+        while buf.len() < header_end + len {
+            let n = stream.read(&mut chunk).expect("read body");
+            assert!(n > 0, "server closed mid-body");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        buf.drain(..header_end + len);
+        lats.push(t0.elapsed());
+    }
+    lats
+}
+
 /// Server load generator: an in-process `rpt-serve` instance at
 /// `max_batch = 16` over the same Table-1-scale model as `bench_decode`,
 /// driven by 1 / 4 / 16 concurrent HTTP clients issuing greedy decode
@@ -510,8 +566,6 @@ fn bench_decode() {
 /// the average batch occupancy (rows per fused step, from the
 /// `serve.tokens` / `serve.batch_steps` deltas).
 fn bench_serve() {
-    use std::io::{Read, Write};
-
     let cfg = TransformerConfig {
         max_cols: 0,
         dropout: 0.0,
@@ -539,63 +593,13 @@ fn bench_serve() {
         src.join(", ")
     );
 
-    // Keep-alive load generator: each client owns one connection and
-    // issues requests back-to-back over it, so per-request connect and
-    // connection-thread-spawn costs don't dilute the throughput ratio
-    // the artifact asserts. Returns per-request latencies.
-    fn run_client(addr: &str, body: &str, reqs: usize) -> Vec<Duration> {
-        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
-        let req = format!(
-            "POST /v1/clean HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
-            body.len()
-        );
-        let mut lats = Vec::with_capacity(reqs);
-        let mut buf = Vec::new();
-        let mut chunk = [0u8; 4096];
-        for _ in 0..reqs {
-            let t0 = Instant::now();
-            stream.write_all(req.as_bytes()).expect("write");
-            // read one response: headers, then content-length body bytes
-            let header_end = loop {
-                if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
-                    break pos + 4;
-                }
-                let n = stream.read(&mut chunk).expect("read");
-                assert!(n > 0, "server closed mid-response");
-                buf.extend_from_slice(&chunk[..n]);
-            };
-            let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
-            assert!(
-                head.starts_with("HTTP/1.1 200"),
-                "request failed: {}",
-                head.lines().next().unwrap_or("")
-            );
-            let len: usize = head
-                .lines()
-                .find_map(|l| {
-                    let (k, v) = l.split_once(':')?;
-                    k.eq_ignore_ascii_case("content-length")
-                        .then(|| v.trim().parse().ok())?
-                })
-                .expect("content-length");
-            while buf.len() < header_end + len {
-                let n = stream.read(&mut chunk).expect("read body");
-                assert!(n > 0, "server closed mid-body");
-                buf.extend_from_slice(&chunk[..n]);
-            }
-            buf.drain(..header_end + len);
-            lats.push(t0.elapsed());
-        }
-        lats
-    }
-
     // Round-robin over the concurrency levels and take per-level medians
     // — the bench_interleaved rationale: host noise during any one window
     // would otherwise skew the throughput ratio the artifact asserts.
     // Each round pushes enough requests that ramp-up/drain (occupancy
     // below max_batch at the edges) is a small fraction of the window.
     let (rounds, reqs_per_round): (usize, usize) = if fast_mode() { (2, 32) } else { (5, 128) };
-    run_client(&addr, &body, 2); // warm-up: first requests pay allocator/page cost
+    serve_load_client(&addr, &body, 2, false); // warm-up: first requests pay allocator/page cost
 
     let tokens_ctr = rpt_obs::counter("serve.tokens");
     let steps_ctr = rpt_obs::counter("serve.batch_steps");
@@ -612,7 +616,7 @@ fn bench_serve() {
                 let handles: Vec<_> = (0..conc)
                     .map(|_| {
                         let (addr, body) = (addr.clone(), body.clone());
-                        s.spawn(move || run_client(&addr, &body, reqs_per_client))
+                        s.spawn(move || serve_load_client(&addr, &body, reqs_per_client, false))
                     })
                     .collect();
                 handles
@@ -696,6 +700,150 @@ fn bench_serve() {
         rpt_json::Json::from(tput16 / tput1),
     );
     rpt_bench::emit_artifact("bench_serve", &rpt_json::Json::Object(root));
+}
+
+/// Observability overhead gate: the `bench_serve` load generator at a
+/// fixed concurrency of 4, with per-request tracing alternately dark and
+/// enabled round-robin (the `bench_interleaved` rationale: host noise
+/// during either arm's window would otherwise masquerade as tracing
+/// overhead). Traced rounds also request the `x-rpt-trace` summary
+/// header so its render cost is charged to the instrumented arm. Writes
+/// `bench_results/bench_obs.json` with the per-arm median tokens/sec,
+/// the relative throughput degradation, and the trace ring's occupancy
+/// and dropped-event count after the run; `scripts/verify.sh` gates on
+/// the degradation staying under 3%.
+fn bench_obs() {
+    let cfg = TransformerConfig {
+        max_cols: 0,
+        dropout: 0.0,
+        ..TransformerConfig::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut params = ParamStore::new();
+    let model = Seq2Seq::new(&mut params, cfg, &mut rng);
+    let server = rpt_serve::Server::start(
+        model,
+        params,
+        rpt_serve::ServeConfig {
+            max_batch: 16,
+            queue_cap: 64,
+            ..Default::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr().to_string();
+
+    const MAX_STEPS: usize = 32;
+    const CONC: usize = 4;
+    let src: Vec<String> = (0..24).map(|i| (9 + (i * 7) % 900).to_string()).collect();
+    let body = format!(
+        r#"{{"src": [{}], "max_steps": {MAX_STEPS}}}"#,
+        src.join(", ")
+    );
+
+    // Odd round count so the medians come from windows in the same
+    // position of the dark/traced alternation.
+    let (rounds, reqs_per_round): (usize, usize) = if fast_mode() { (3, 32) } else { (7, 128) };
+    let reqs_per_client = (reqs_per_round / CONC).max(1);
+    serve_load_client(&addr, &body, 2, false); // warm-up
+
+    rpt_obs::clear_trace();
+    let tokens_ctr = rpt_obs::counter("serve.tokens");
+    let mut dark_tputs = Vec::with_capacity(rounds);
+    let mut traced_tputs = Vec::with_capacity(rounds);
+    for _round in 0..rounds {
+        for traced in [false, true] {
+            rpt_obs::set_trace_enabled(traced);
+            let tokens0 = tokens_ctr.value();
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..CONC)
+                    .map(|_| {
+                        let (addr, body) = (addr.clone(), body.clone());
+                        s.spawn(move || serve_load_client(&addr, &body, reqs_per_client, traced))
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("client");
+                }
+            });
+            let elapsed = t0.elapsed();
+            let tput = (tokens_ctr.value() - tokens0) as f64 / elapsed.as_secs_f64();
+            if traced {
+                traced_tputs.push(tput);
+            } else {
+                dark_tputs.push(tput);
+            }
+        }
+    }
+    rpt_obs::set_trace_enabled(false);
+    let stats = rpt_obs::trace_stats();
+    server.shutdown();
+
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    };
+    let dark = median(&mut dark_tputs);
+    let instrumented = median(&mut traced_tputs);
+    let degradation = 1.0 - instrumented / dark;
+    let occupied = stats.recorded.min(stats.capacity);
+    println!(
+        "obs/serve_dark_c{CONC}                {dark:.0} tok/s, traced {instrumented:.0} tok/s, degradation {:.2}%",
+        degradation * 100.0
+    );
+    println!(
+        "obs/trace_ring                  {occupied}/{} events occupied, {} dropped to wrap",
+        stats.capacity, stats.overwritten
+    );
+
+    let mut root = rpt_json::Map::new();
+    root.insert(
+        "bench".into(),
+        rpt_json::Json::from("obs_serve_trace_overhead"),
+    );
+    root.insert(
+        "cpu_features".into(),
+        rpt_json::Json::from(rpt_tensor::simd::cpu_features()),
+    );
+    root.insert(
+        "hardware_threads".into(),
+        rpt_json::Json::from(std::thread::available_parallelism().map_or(1, |n| n.get())),
+    );
+    root.insert("fast_mode".into(), rpt_json::Json::from(fast_mode()));
+    root.insert("concurrency".into(), rpt_json::Json::from(CONC));
+    root.insert("max_steps".into(), rpt_json::Json::from(MAX_STEPS));
+    root.insert("rounds".into(), rpt_json::Json::from(rounds));
+    root.insert(
+        "requests_per_arm".into(),
+        rpt_json::Json::from(rounds * reqs_per_client * CONC),
+    );
+    root.insert("dark_tokens_per_sec".into(), rpt_json::Json::from(dark));
+    root.insert(
+        "instrumented_tokens_per_sec".into(),
+        rpt_json::Json::from(instrumented),
+    );
+    root.insert(
+        "throughput_degradation".into(),
+        rpt_json::Json::from(degradation),
+    );
+    root.insert(
+        "ring_capacity".into(),
+        rpt_json::Json::from(stats.capacity),
+    );
+    root.insert(
+        "ring_events_recorded".into(),
+        rpt_json::Json::from(stats.recorded),
+    );
+    root.insert(
+        "ring_occupancy".into(),
+        rpt_json::Json::from(occupied as f64 / stats.capacity as f64),
+    );
+    root.insert(
+        "dropped_events".into(),
+        rpt_json::Json::from(stats.overwritten),
+    );
+    rpt_bench::emit_artifact("bench_obs", &rpt_json::Json::Object(root));
 }
 
 /// Quantized decode throughput: greedy decode with f32 weights vs. the
@@ -954,7 +1102,7 @@ fn main() {
     // `cargo bench -- <filter>` runs only groups whose name matches
     // (flags cargo injects, like `--bench`, are skipped)
     let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-    let groups: [(&str, fn()); 12] = [
+    let groups: [(&str, fn()); 13] = [
         ("matmul", bench_matmul),
         ("softmax_layernorm", bench_softmax_layernorm),
         ("attention", bench_attention),
@@ -965,6 +1113,7 @@ fn main() {
         ("parallel", bench_parallel),
         ("decode", bench_decode),
         ("serve", bench_serve),
+        ("obs", bench_obs),
         ("quant", bench_quant),
         ("streaming", bench_streaming),
     ];

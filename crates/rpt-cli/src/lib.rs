@@ -14,6 +14,7 @@
 //! rpt match   <a.csv> <b.csv> [--threshold T]    unsupervised matching (ZeroER)
 //! rpt serve   <file.csv> [--addr A] [--max-batch N] [--checkpoint-dir DIR] [--quant]
 //! rpt quantize <model.json> <out.json>           offline int8 (quant-v1) conversion
+//! rpt trace-report <dump.json>                   self-time profile of a --trace-out dump
 //! ```
 
 use std::fmt::Write as _;
@@ -479,6 +480,63 @@ pub fn cmd_pretrain(corpus_dir: &str, opts: &PretrainOptions) -> Result<String, 
     ))
 }
 
+/// `rpt trace-report` — render a `--trace-out` dump (`rpt-trace-v1`) as
+/// a self-time profile: one line per span-name path from its trace root,
+/// children flamegraph-ordered (heaviest total time first).
+pub fn cmd_trace_report(path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Data(format!("cannot read trace dump {path}: {e}")))?;
+    let doc = rpt_json::Json::parse(&text)
+        .map_err(|e| CliError::Data(format!("trace dump {path}: {e}")))?;
+    let spans = rpt_obs::spans_from_dump(&doc)
+        .map_err(|e| CliError::Data(format!("trace dump {path}: {e}")))?;
+    let complete = spans.iter().filter(|s| s.dur_ns.is_some()).count();
+    let overwritten = doc
+        .get("overwritten")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace report: {path} — {} span(s), {complete} complete, {overwritten} event(s) lost to ring wrap",
+        spans.len(),
+    );
+    let profile = rpt_obs::profile_spans(&spans);
+    let nodes = profile.as_array().unwrap_or(&[]);
+    if nodes.is_empty() {
+        let _ = writeln!(out, "no completed spans to profile");
+        return Ok(out);
+    }
+    let _ = writeln!(
+        out,
+        "\n{:<44} {:>8} {:>12} {:>12} {:>10} {:>10}",
+        "span", "calls", "total_ms", "self_ms", "p50_ms", "p99_ms"
+    );
+    fn render(out: &mut String, node: &rpt_json::Json, depth: usize) {
+        let field = |k: &str| node.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let name = node.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+        let calls = node.get("calls").and_then(|v| v.as_u64()).unwrap_or(0);
+        let label = format!("{}{}", "  ".repeat(depth), name);
+        let _ = writeln!(
+            out,
+            "{label:<44} {calls:>8} {:>12.3} {:>12.3} {:>10.3} {:>10.3}",
+            field("total_ms"),
+            field("self_ms"),
+            field("p50_ms"),
+            field("p99_ms"),
+        );
+        if let Some(children) = node.get("children").and_then(|v| v.as_array()) {
+            for child in children {
+                render(out, child, depth + 1);
+            }
+        }
+    }
+    for node in nodes {
+        render(&mut out, node, 0);
+    }
+    Ok(out)
+}
+
 /// The checkpoint file `rpt serve --checkpoint-dir` watches for
 /// hot-reload (the format `rpt clean --save` writes).
 pub const SERVE_MODEL_FILE: &str = "model.json";
@@ -594,6 +652,8 @@ pub enum Command {
     Shard(String, ShardOptions),
     /// `rpt pretrain <corpus-dir> [flags]`
     Pretrain(String, PretrainOptions),
+    /// `rpt trace-report <dump.json>`
+    TraceReport(String),
     /// `rpt help`
     Help,
 }
@@ -647,6 +707,7 @@ USAGE:
   rpt shard   <out-dir> [--shard-size K] [--rows N] [--seed S]
   rpt pretrain <corpus-dir> [--steps N] [--batch-size B] [--micro-batch M] [--accum-steps K]
                             [--no-prefetch] [--save MODEL] [--checkpoint-dir DIR] [--resume STATE]
+  rpt trace-report <dump.json>
   rpt help
 
 Observability (any command):
@@ -656,6 +717,10 @@ Observability (any command):
   --progress            step ticker during training (info on rpt::progress)
   --metrics-out PATH    enable metrics; write a JSON snapshot to PATH
                         periodically and at exit
+  --trace               enable trace recording (RPT_TRACE=1 also works);
+                        a serving process then exposes GET /debug/tracez
+  --trace-out PATH      enable tracing and write the event-ring dump to
+                        PATH at exit; render it with rpt trace-report
 
 Quantized serving: rpt quantize converts an f32 checkpoint into a
 quant-v1 one (f32 params + per-row int8 linear weights); rpt serve
@@ -689,6 +754,11 @@ pub struct ObsOptions {
     pub metrics_out: Option<String>,
     /// `--progress` — step ticker (info records on target `rpt::progress`).
     pub progress: bool,
+    /// `--trace` — enable trace recording (`RPT_TRACE=1` also enables it).
+    pub trace: bool,
+    /// `--trace-out PATH` — enable tracing and write the event-ring dump
+    /// (`rpt-trace-v1`) here at exit; `rpt trace-report` reads it.
+    pub trace_out: Option<String>,
 }
 
 /// Splits the observability flags out of `args`, returning the remaining
@@ -701,15 +771,16 @@ pub fn split_obs_flags(args: &[String]) -> Result<(Vec<String>, ObsOptions), Cli
         match args[i].as_str() {
             "--quiet" => obs.quiet = true,
             "--progress" => obs.progress = true,
-            flag @ ("--log-level" | "--metrics-out") => {
+            "--trace" => obs.trace = true,
+            flag @ ("--log-level" | "--metrics-out" | "--trace-out") => {
                 let value = args
                     .get(i + 1)
                     .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?
                     .clone();
-                if flag == "--log-level" {
-                    obs.log_level = Some(value);
-                } else {
-                    obs.metrics_out = Some(value);
+                match flag {
+                    "--log-level" => obs.log_level = Some(value),
+                    "--metrics-out" => obs.metrics_out = Some(value),
+                    _ => obs.trace_out = Some(value),
                 }
                 i += 1;
             }
@@ -743,14 +814,34 @@ pub fn init_observability(obs: &ObsOptions) -> Result<(), CliError> {
         rpt_obs::set_metrics_enabled(true);
         rpt_obs::set_snapshot_output(path.clone(), std::time::Duration::from_secs(2));
     }
+    let env_trace = std::env::var("RPT_TRACE")
+        .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"));
+    if obs.trace || obs.trace_out.is_some() || env_trace {
+        rpt_obs::set_trace_enabled(true);
+    }
+    if let Some(path) = &obs.trace_out {
+        let _ = TRACE_OUT.set(path.clone());
+    }
     Ok(())
 }
 
-/// Writes the final metrics snapshot (when `--metrics-out` is active).
-/// Called on every exit path so a failed run still leaves its metrics.
+/// Where `--trace-out` writes the final trace dump (set once by
+/// [`init_observability`], read by [`finish_observability`], which runs
+/// after the parsed options have gone out of scope).
+static TRACE_OUT: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+
+/// Writes the final metrics snapshot (when `--metrics-out` is active) and
+/// the trace dump (when `--trace-out` is active). Called on every exit
+/// path so a failed run still leaves its artifacts.
 pub fn finish_observability() {
     if let Some(Err(e)) = rpt_obs::flush_snapshot() {
         rpt_obs::error!(target: "rpt_cli", "cannot write metrics snapshot: {e}");
+    }
+    if let Some(path) = TRACE_OUT.get() {
+        let dump = rpt_obs::trace_dump_json().to_string_pretty();
+        if let Err(e) = std::fs::write(path, dump) {
+            rpt_obs::error!(target: "rpt_cli", "cannot write trace dump {path}: {e}");
+        }
     }
 }
 
@@ -998,6 +1089,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Pretrain(corpus_dir, opts))
         }
+        "trace-report" => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError::Usage("trace-report needs a dump file".into()))?
+                .clone();
+            if let Some(extra) = it.next() {
+                return Err(CliError::Usage(format!("unexpected argument {extra}")));
+            }
+            Ok(Command::TraceReport(path))
+        }
         other => Err(CliError::Usage(format!("unknown command {other}"))),
     }
 }
@@ -1016,6 +1117,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Quantize(input, output) => cmd_quantize(&input, &output),
         Command::Shard(out_dir, opts) => cmd_shard(&out_dir, &opts),
         Command::Pretrain(corpus_dir, opts) => cmd_pretrain(&corpus_dir, &opts),
+        Command::TraceReport(path) => cmd_trace_report(&path),
     }
 }
 
@@ -1147,6 +1249,9 @@ mod tests {
             "--progress",
             "--log-level",
             "debug",
+            "--trace",
+            "--trace-out",
+            "t.json",
         ]))
         .unwrap();
         assert_eq!(rest, s(&["clean", "d.csv", "--steps", "50"]));
@@ -1157,6 +1262,8 @@ mod tests {
                 quiet: true,
                 metrics_out: Some("m.json".into()),
                 progress: true,
+                trace: true,
+                trace_out: Some("t.json".into()),
             }
         );
     }
@@ -1171,6 +1278,60 @@ mod tests {
             split_obs_flags(&s(&["clean", "d.csv", "--metrics-out"])),
             Err(CliError::Usage(_))
         ));
+        assert!(matches!(
+            split_obs_flags(&s(&["clean", "d.csv", "--trace-out"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parse_trace_report() {
+        assert_eq!(
+            parse_args(&s(&["trace-report", "t.json"])).unwrap(),
+            Command::TraceReport("t.json".into())
+        );
+        assert!(matches!(
+            parse_args(&s(&["trace-report"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["trace-report", "a", "b"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn trace_report_renders_profile_from_dump() {
+        let dir = std::env::temp_dir().join("rpt-cli-test-trace-report");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump = dir.join("trace.json");
+        // A hand-built rpt-trace-v1 dump: one request with a decode stage.
+        std::fs::write(
+            &dump,
+            r#"{
+              "schema": "rpt-trace-v1",
+              "recorded": 4, "capacity": 65536, "overwritten": 0,
+              "events": [
+                {"kind":"begin","name":"serve.request","trace_id":7,"span_id":1,"parent_id":0,"t_ns":0},
+                {"kind":"begin","name":"serve.decode","trace_id":7,"span_id":2,"parent_id":1,"t_ns":1000000},
+                {"kind":"end","name":"serve.decode","trace_id":7,"span_id":2,"parent_id":1,"t_ns":3000000},
+                {"kind":"end","name":"serve.request","trace_id":7,"span_id":1,"parent_id":0,"t_ns":5000000}
+              ]
+            }"#,
+        )
+        .unwrap();
+        let report = cmd_trace_report(dump.to_str().unwrap()).unwrap();
+        assert!(report.contains("2 span(s), 2 complete"), "{report}");
+        assert!(report.contains("serve.request"), "{report}");
+        assert!(report.contains("  serve.decode"), "{report}");
+        // Garbage input is a typed error, not a panic.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "not json").unwrap();
+        assert!(matches!(
+            cmd_trace_report(bad.to_str().unwrap()),
+            Err(CliError::Data(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -637,6 +637,7 @@ fn load_next(
 ) -> Result<LoadedShard, CorpusError> {
     let n = source.manifest().shards.len() as u64;
     let (e, s) = (*epoch, *shard);
+    let _t = rpt_obs::trace_span("corpus.shard_load");
     let started = std::time::Instant::now();
     let examples = source.load_shard(s as usize)?;
     let ms = started.elapsed().as_secs_f64() * 1e3;
@@ -695,6 +696,7 @@ impl ShardStream {
                 shard,
             } => load_next(source.as_mut(), epoch, shard)?,
             ShardFeed::Prefetch(p) => {
+                let _t = rpt_obs::trace_span("corpus.prefetch_wait");
                 let started = std::time::Instant::now();
                 let item = p
                     .next()?

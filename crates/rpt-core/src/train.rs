@@ -134,6 +134,7 @@ impl Trainer {
     /// from `params` (via [`rpt_nn::Ctx`]).
     pub fn step(&mut self, tape: &Tape, params: &mut ParamStore, loss: Var) -> f32 {
         let _t = rpt_obs::span("train.step", &TRAIN_OBS.step_ms);
+        let _trace = rpt_obs::trace_span("train.step");
         let loss_value = tape.value(loss).data()[0];
         let mut grads = tape.backward(loss);
         let pg = params.collect_grads(&mut grads);
@@ -183,6 +184,7 @@ impl Trainer {
             "step_data_parallel inside an open accumulation window"
         );
         let _t = rpt_obs::span("train.step", &TRAIN_OBS.step_ms);
+        let _trace = rpt_obs::trace_span("train.step");
         self.accum_micro_step(pool, params, shards, shard_weight, forward);
         self.accum_apply(params)
     }
@@ -205,6 +207,7 @@ impl Trainer {
         forward: impl Fn(&Tape, &mut ParamStore, &S) -> Var + Sync,
     ) {
         assert!(!shards.is_empty(), "accum_micro_step: no shards");
+        let _trace = rpt_obs::trace_span("train.forward_backward");
         let shared: &ParamStore = params;
         let results: Vec<(f32, Vec<(ParamId, Tensor)>)> = pool.map(shards.len(), |i| {
             let mut local = shared.clone();
@@ -267,6 +270,7 @@ impl Trainer {
     /// window's weighted mean loss.
     pub fn accum_apply(&mut self, params: &mut ParamStore) -> f32 {
         assert!(!self.pending.is_empty(), "accum_apply: empty window");
+        let _trace = rpt_obs::trace_span("train.reduce_apply");
         let pending = std::mem::take(&mut self.pending);
         let (loss_value, pg) = Self::reduce_window(params.len(), pending);
         self.apply_update(params, pg, loss_value)

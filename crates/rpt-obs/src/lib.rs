@@ -46,20 +46,38 @@
 //! Handles are cheap `Arc` clones; call sites cache them in
 //! `std::sync::LazyLock` statics so the registry lock is only taken once
 //! per metric per process. [`snapshot`] serializes the whole registry to
-//! a `rpt_json::Json` document; [`set_snapshot_output`] +
+//! a `rpt_json::Json` document (histograms include interpolated
+//! `p50`/`p95`/`p99`); [`metrics_text`] renders the same registry in the
+//! Prometheus text exposition format; [`set_snapshot_output`] +
 //! [`tick_snapshot`] add periodic file snapshots for long runs.
+//!
+//! ## Tracing
+//!
+//! A separately gated ([`set_trace_enabled`], or `RPT_TRACE=1` via the
+//! CLI) ring buffer of timestamped span events plus an on-demand
+//! self-time profiler — see the [`trace_span`] / [`tracez_json`] /
+//! [`profile_json`] family and the `trace` module docs. Same dark-path
+//! contract as metrics: one relaxed atomic load and out.
 
 mod logging;
 mod metrics;
+mod trace;
 
 pub use logging::{
     log_enabled, log_record, parse_level_filter, set_filter, set_json_sink, Filter, Level,
     LEVEL_DEBUG, LEVEL_ERROR, LEVEL_INFO, LEVEL_OFF, LEVEL_TRACE, LEVEL_WARN,
 };
 pub use metrics::{
-    counter, flush_snapshot, gauge, histogram, histogram_with, metrics_enabled,
+    counter, flush_snapshot, gauge, histogram, histogram_with, metrics_enabled, metrics_text,
     set_metrics_enabled, set_snapshot_output, snapshot, span, span_path, tick_snapshot,
     write_snapshot, Counter, Gauge, Histogram, Span, COUNT_BOUNDS, DURATION_MS_BOUNDS,
+};
+pub use trace::{
+    begin_span, clear_trace, collect_spans, emit_span, end_span, next_trace_id, now_ns,
+    profile_json, profile_spans, set_trace_enabled, spans_from_dump, trace_context,
+    trace_dump_json, trace_enabled,
+    trace_events, trace_instant, trace_span, trace_stats, tracez_json, SpanRec, TraceCtx,
+    TraceEvent, TraceSpan, TraceStats, RING_CAPACITY,
 };
 
 /// Core log macro: checks the filter before formatting anything.

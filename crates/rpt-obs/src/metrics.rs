@@ -177,6 +177,35 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// The `q`-quantile (`0.0..=1.0`) estimated by linear interpolation
+    /// within the bucket holding the target rank (the Prometheus
+    /// `histogram_quantile` rule). Observations in the overflow bucket
+    /// clamp to the last finite bound — a floor, not an estimate. Returns
+    /// 0.0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let bounds = self.bounds();
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0u64;
+        for (i, &n) in counts.iter().enumerate() {
+            let next = cum + n;
+            if (next as f64) >= target && n > 0 {
+                if i >= bounds.len() {
+                    return bounds[bounds.len() - 1];
+                }
+                let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+                let frac = (target - cum as f64) / n as f64;
+                return lower + (bounds[i] - lower) * frac.clamp(0.0, 1.0);
+            }
+            cum = next;
+        }
+        bounds[bounds.len() - 1]
+    }
 }
 
 enum Metric {
@@ -371,6 +400,9 @@ pub fn snapshot() -> Json {
                     rpt_json::json!({
                         "count": h.count(),
                         "sum": h.sum(),
+                        "p50": h.quantile(0.50),
+                        "p95": h.quantile(0.95),
+                        "p99": h.quantile(0.99),
                         "buckets": buckets,
                     }),
                 );
@@ -389,6 +421,61 @@ pub fn snapshot() -> Json {
 /// Writes a pretty-printed [`snapshot`] to `path`.
 pub fn write_snapshot(path: impl AsRef<Path>) -> std::io::Result<()> {
     std::fs::write(path, snapshot().to_string_pretty())
+}
+
+/// Metric names use `.` separators; the exposition format wants `[a-z_]`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn prom_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the whole registry in the Prometheus text exposition format
+/// (`GET /metrics?format=text`): counters and gauges as single samples,
+/// histograms as cumulative `_bucket{le=…}` series plus `_sum`/`_count`.
+/// Names are sorted, `.` becomes `_`.
+pub fn metrics_text() -> String {
+    let registry = lock_registry();
+    let mut names: Vec<&String> = registry.iter().map(|(n, _)| n).collect();
+    names.sort();
+    let mut out = String::new();
+    for name in names {
+        let metric = &registry.iter().find(|(n, _)| n == name).unwrap().1;
+        let pname = prom_name(name);
+        match metric {
+            Metric::Counter(c) => {
+                out.push_str(&format!("# TYPE {pname} counter\n{pname} {}\n", c.value()));
+            }
+            Metric::Gauge(g) => {
+                out.push_str(&format!(
+                    "# TYPE {pname} gauge\n{pname} {}\n",
+                    prom_f64(g.value())
+                ));
+            }
+            Metric::Histogram(h) => {
+                out.push_str(&format!("# TYPE {pname} histogram\n"));
+                let counts = h.bucket_counts();
+                let mut cum = 0u64;
+                for (&le, &n) in h.bounds().iter().zip(&counts) {
+                    cum += n;
+                    out.push_str(&format!("{pname}_bucket{{le=\"{}\"}} {cum}\n", prom_f64(le)));
+                }
+                cum += counts[counts.len() - 1];
+                out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {cum}\n"));
+                out.push_str(&format!("{pname}_sum {}\n", prom_f64(h.sum())));
+                out.push_str(&format!("{pname}_count {}\n", h.count()));
+            }
+        }
+    }
+    out
 }
 
 struct Periodic {
@@ -551,6 +638,61 @@ mod tests {
         let buckets = hist.get("buckets").unwrap().as_array().unwrap();
         assert_eq!(buckets.len(), 3, "2 bounds + overflow");
         assert_eq!(buckets[2].get("le").unwrap().as_str(), Some("inf"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        set_metrics_enabled(true);
+        let h = histogram_with("test.hist.quantiles", &[10.0, 20.0, 40.0]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram reports 0");
+        // 10 observations in (10, 20]: rank r maps to 10 + r ms.
+        for _ in 0..10 {
+            h.record(15.0);
+        }
+        assert!((h.quantile(0.5) - 15.0).abs() < 1e-9, "{}", h.quantile(0.5));
+        assert!((h.quantile(1.0) - 20.0).abs() < 1e-9);
+        // Push one into the overflow bucket: p100 clamps to the last bound.
+        h.record(1000.0);
+        assert!((h.quantile(1.0) - 40.0).abs() < 1e-9);
+        // First-bucket interpolation starts from 0.
+        let h2 = histogram_with("test.hist.quantiles2", &[8.0]);
+        h2.record(1.0);
+        h2.record(1.0);
+        assert!((h2.quantile(0.5) - 4.0).abs() < 1e-9, "{}", h2.quantile(0.5));
+    }
+
+    #[test]
+    fn snapshot_includes_interpolated_quantiles() {
+        set_metrics_enabled(true);
+        let h = histogram_with("test.snap.quant", &[10.0, 20.0]);
+        for _ in 0..4 {
+            h.record(15.0);
+        }
+        let doc = snapshot();
+        let hist = doc.get("histograms").unwrap().get("test.snap.quant").unwrap();
+        for key in ["p50", "p95", "p99"] {
+            let v = hist.get(key).unwrap().as_f64().unwrap();
+            assert!((10.0..=20.0).contains(&v), "{key} = {v}");
+        }
+    }
+
+    #[test]
+    fn text_exposition_renders_cumulative_buckets() {
+        set_metrics_enabled(true);
+        counter("test.prom.counter").add(3);
+        gauge("test.prom.gauge").set(1.5);
+        let h = histogram_with("test.prom.hist", &[1.0, 2.0]);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(99.0);
+        let text = metrics_text();
+        assert!(text.contains("# TYPE test_prom_counter counter"));
+        assert!(text.contains("test_prom_counter 3"));
+        assert!(text.contains("test_prom_gauge 1.5"));
+        assert!(text.contains("test_prom_hist_bucket{le=\"1.0\"} 1"));
+        assert!(text.contains("test_prom_hist_bucket{le=\"2.0\"} 2"));
+        assert!(text.contains("test_prom_hist_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("test_prom_hist_count 3"));
     }
 
     #[test]

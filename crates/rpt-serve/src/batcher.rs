@@ -36,6 +36,36 @@ pub(crate) struct Job {
     pub spec: JobSpec,
     pub resp: SyncSender<(u64, JobOutput)>,
     pub cancel: Arc<AtomicBool>,
+    /// Per-request trace identity; `None` when tracing is dark (the
+    /// batcher then records no stage spans and reads no clock for them).
+    pub trace: Option<JobTrace>,
+}
+
+/// Stage durations shared back to the connection handler so the optional
+/// `X-Rpt-Trace` response header can summarize them (nanoseconds; 0 =
+/// stage not finished).
+pub(crate) struct StageNs {
+    pub queue_wait: AtomicU64,
+    pub batch_wait: AtomicU64,
+    pub decode: AtomicU64,
+}
+
+/// The trace identity a request carries across the queue: span parents
+/// for the stage spans the batcher emits, plus the enqueue timestamp
+/// (`rpt_obs::now_ns`) where queue_wait starts.
+pub(crate) struct JobTrace {
+    pub trace_id: u64,
+    pub root: u64,
+    pub enqueue_ns: u64,
+    pub stages: Arc<StageNs>,
+}
+
+/// Batcher-side stage bookkeeping for one admitted traced job.
+struct PendingTrace {
+    meta: JobTrace,
+    admit_ns: u64,
+    /// Set when the job's first fused step begins (batch_wait ends).
+    first_step_ns: Option<u64>,
 }
 
 /// An admitted job awaiting completion.
@@ -43,6 +73,7 @@ struct PendingJob {
     id: u64,
     resp: SyncSender<(u64, JobOutput)>,
     cancel: Arc<AtomicBool>,
+    trace: Option<PendingTrace>,
 }
 
 /// State shared between connection handlers and the batcher thread.
@@ -179,11 +210,32 @@ impl Batcher {
         }
         let id = self.next_id;
         self.next_id += 1;
+        // queue_wait ends here: the job left the bounded queue and owns a
+        // KV slot. Trace-dark jobs skip all stage accounting (no clock).
+        let trace = job.trace.map(|meta| {
+            let now = rpt_obs::now_ns();
+            rpt_obs::emit_span(
+                meta.trace_id,
+                meta.root,
+                "serve.queue_wait",
+                meta.enqueue_ns,
+                now,
+            );
+            meta.stages
+                .queue_wait
+                .store(now.saturating_sub(meta.enqueue_ns), Ordering::Relaxed);
+            PendingTrace {
+                meta,
+                admit_ns: now,
+                first_step_ns: None,
+            }
+        });
         self.mb.admit(&self.model, &mut self.params, id, job.spec);
         self.pending.push(PendingJob {
             id,
             resp: job.resp,
             cancel: job.cancel,
+            trace,
         });
         SERVE_OBS.kv_slots_in_use.set(self.mb.slots_in_use() as f64);
     }
@@ -194,11 +246,43 @@ impl Batcher {
             .batch_occupancy
             .record(self.mb.slots_in_use() as f64);
         SERVE_OBS.tokens.add(self.mb.rows() as u64);
+        // batch_wait ends for every traced job entering its first fused
+        // step (admission → here is the wait for batch formation).
+        if rpt_obs::trace_enabled() {
+            let now = rpt_obs::now_ns();
+            for p in self.pending.iter_mut() {
+                if let Some(t) = &mut p.trace {
+                    if t.first_step_ns.is_none() {
+                        rpt_obs::emit_span(
+                            t.meta.trace_id,
+                            t.meta.root,
+                            "serve.batch_wait",
+                            t.admit_ns,
+                            now,
+                        );
+                        t.meta
+                            .stages
+                            .batch_wait
+                            .store(now.saturating_sub(t.admit_ns), Ordering::Relaxed);
+                        t.first_step_ns = Some(now);
+                    }
+                }
+            }
+        }
         let finished = self.mb.step(&self.model, &mut self.params);
         let generation = self.shared.generation.load(Ordering::Relaxed);
         for (id, out) in finished {
             if let Some(at) = self.pending.iter().position(|p| p.id == id) {
                 let job = self.pending.swap_remove(at);
+                if let Some(t) = &job.trace {
+                    let now = rpt_obs::now_ns();
+                    let start = t.first_step_ns.unwrap_or(t.admit_ns);
+                    rpt_obs::emit_span(t.meta.trace_id, t.meta.root, "serve.decode", start, now);
+                    t.meta
+                        .stages
+                        .decode
+                        .store(now.saturating_sub(start), Ordering::Relaxed);
+                }
                 // A handler that gave up (client vanished) just drops the
                 // receiver; the send error is fine to ignore.
                 let _ = job.resp.try_send((generation, out));

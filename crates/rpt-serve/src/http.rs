@@ -241,6 +241,16 @@ impl Response {
         }
     }
 
+    /// A plain-text response (the Prometheus exposition format).
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "text/plain; version=0.0.4",
+        }
+    }
+
     /// The standard typed error body: `{"error":{"code","message"}}`.
     pub fn error(status: u16, code: &str, message: &str) -> Self {
         let body = rpt_json::json!({

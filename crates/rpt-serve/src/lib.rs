@@ -17,6 +17,16 @@
 //! | `POST /v1/match` | `{"src": [ids], "targets": [ids]}` | log-prob of `targets` given `src` |
 //! | `GET /healthz` | — | `{"status":"ok","model_generation":n,"quant":b}` |
 //! | `GET /metrics` | — | the [`rpt_obs::snapshot`] document |
+//! | `GET /metrics?format=text` | — | Prometheus text exposition ([`rpt_obs::metrics_text`]) |
+//! | `GET /debug/tracez` | — | recent request traces + profile tree ([`rpt_obs::tracez_json`]) |
+//!
+//! With tracing enabled (`rpt_obs::set_trace_enabled`, `RPT_TRACE=1` via
+//! the CLI), every request gets a `trace_id` and stage spans — `parse`,
+//! `queue_wait`, `batch_wait`, `decode`, `serialize` under a
+//! `serve.request` root — recorded into the rpt-obs ring; a request
+//! carrying the header `x-rpt-trace: 1` gets an `X-Rpt-Trace` response
+//! header summarizing those stages. Tracing never changes a response
+//! body byte (locked down by `tests/obs_determinism.rs`).
 //!
 //! Connections are pipelined: every complete request in a connection's
 //! buffer is parsed and submitted to the batcher immediately (responses
@@ -50,7 +60,7 @@ use std::time::Duration;
 use rpt_nn::{Seq2Seq, TransformerConfig};
 use rpt_tensor::ParamStore;
 
-use batcher::{Batcher, BatcherShared, Job};
+use batcher::{Batcher, BatcherShared, Job, JobTrace, StageNs};
 use http::{Parsed, Request, RequestParser, Response};
 use obs::SERVE_OBS;
 
@@ -229,6 +239,12 @@ impl Server {
         if let Some(h) = batcher {
             let _ = h.join();
         }
+        // Persist the final serve.* metrics: a served process previously
+        // exited without ever flushing its snapshot (only training paths
+        // called flush_snapshot). No-op when no output is configured.
+        if let Some(Err(e)) = rpt_obs::flush_snapshot() {
+            rpt_obs::warn!(target: "serve", "cannot flush final metrics snapshot: {e}");
+        }
     }
 }
 
@@ -244,16 +260,40 @@ impl Drop for Server {
 /// past it simply stops being read until the head of the line drains.
 const MAX_PIPELINED: usize = 64;
 
+/// Per-request trace identity carried from dispatch to response write.
+/// All-zero (and `summary` false) when tracing is dark or the request
+/// failed to parse — every consumer then no-ops.
+#[derive(Clone, Copy)]
+struct ReqTrace {
+    trace_id: u64,
+    /// The `serve.request` root span, opened at parse start and closed
+    /// when the response hits the socket.
+    root: u64,
+    /// Client sent `x-rpt-trace: 1`: echo a stage-timing summary header.
+    summary: bool,
+}
+
+impl ReqTrace {
+    const DARK: ReqTrace = ReqTrace {
+        trace_id: 0,
+        root: 0,
+        summary: false,
+    };
+}
+
 /// One response owed to the client, in request order.
 enum Outcome {
     /// Computed synchronously (health, metrics, parse errors, 503s).
-    Ready(Response, bool),
+    Ready(Response, bool, ReqTrace),
     /// A decode job in flight on the batcher.
     Pending {
         rx: std::sync::mpsc::Receiver<(u64, rpt_nn::JobOutput)>,
         cancel: Arc<AtomicBool>,
         keep_alive: bool,
         started: std::time::Instant,
+        trace: ReqTrace,
+        /// Stage durations the batcher fills in (for the summary header).
+        stages: Option<Arc<StageNs>>,
     },
 }
 
@@ -263,6 +303,7 @@ enum Routed {
     Pending {
         rx: std::sync::mpsc::Receiver<(u64, rpt_nn::JobOutput)>,
         cancel: Arc<AtomicBool>,
+        stages: Option<Arc<StageNs>>,
     },
 }
 
@@ -285,12 +326,15 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     // the outcome queue is complete, nothing more will be read.
     let mut closing = false;
     loop {
-        // 1. Submit every complete buffered request.
+        // 1. Submit every complete buffered request. The timestamp before
+        // each parse attempt anchors the request's root span (0 — and
+        // clock-free — when tracing is dark).
         while !closing && inflight.len() < MAX_PIPELINED {
+            let parse_start_ns = rpt_obs::now_ns();
             match parser.next_request() {
                 Ok(Parsed::Request(req)) => {
                     closing = !req.keep_alive;
-                    inflight.push_back(dispatch(&req, &shared));
+                    inflight.push_back(dispatch(&req, &shared, parse_start_ns));
                 }
                 Ok(Parsed::NeedMore) => break,
                 Err(e) => {
@@ -300,6 +344,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                     inflight.push_back(Outcome::Ready(
                         Response::error(e.status(), e.code(), e.message()),
                         false,
+                        ReqTrace::DARK,
                     ));
                     closing = true;
                 }
@@ -308,38 +353,47 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
 
         // 2. Write responses that are ready at the head of the line.
         while let Some(front) = inflight.front_mut() {
-            let (resp, keep_alive) = match front {
+            let (resp, keep_alive, trace) = match front {
                 Outcome::Ready(..) => match inflight.pop_front() {
-                    Some(Outcome::Ready(resp, ka)) => (resp, ka),
+                    Some(Outcome::Ready(resp, ka, trace)) => (resp, ka, trace),
                     _ => unreachable!("front was Ready"),
                 },
-                Outcome::Pending {
-                    rx,
-                    keep_alive,
-                    started,
-                    ..
-                } => {
-                    let out = match rx.try_recv() {
-                        Ok((generation, out)) => {
-                            SERVE_OBS
-                                .request_ms
-                                .record(started.elapsed().as_secs_f64() * 1e3);
-                            Response::json(200, api::render_output(&out, generation))
-                        }
-                        Err(std::sync::mpsc::TryRecvError::Empty) => break,
-                        Err(std::sync::mpsc::TryRecvError::Disconnected) => {
-                            Response::error(500, "internal", "batcher dropped the request")
-                        }
+                Outcome::Pending { rx, .. } => {
+                    let recv = rx.try_recv();
+                    if matches!(recv, Err(std::sync::mpsc::TryRecvError::Empty)) {
+                        break;
+                    }
+                    let Some(Outcome::Pending {
+                        keep_alive,
+                        started,
+                        trace,
+                        stages,
+                        ..
+                    }) = inflight.pop_front()
+                    else {
+                        unreachable!("front was Pending");
                     };
-                    let ka = *keep_alive;
-                    inflight.pop_front();
-                    (out, ka)
+                    let resp = match recv {
+                        Ok((generation, out)) => {
+                            render_decode(generation, &out, trace, stages.as_deref(), &started)
+                        }
+                        Err(_) => Response::error(500, "internal", "batcher dropped the request"),
+                    };
+                    (resp, keep_alive, trace)
                 }
             };
             if resp.write_to(&mut stream, keep_alive).is_err() {
                 cancel_all(&mut inflight);
                 return;
             }
+            // The response is on the wire: the request's wall time ends.
+            rpt_obs::end_span(
+                trace.trace_id,
+                trace.root,
+                0,
+                "serve.request",
+                rpt_obs::now_ns(),
+            );
             if !keep_alive {
                 cancel_all(&mut inflight);
                 return;
@@ -352,28 +406,32 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         if let Some(Outcome::Pending { rx, .. }) = inflight.front() {
             match rx.recv_timeout(Duration::from_millis(shared.cfg.read_timeout_ms.max(1))) {
                 Ok((generation, out)) => {
-                    let resp = Response::json(200, api::render_output(&out, generation));
                     if let Some(Outcome::Pending {
                         keep_alive,
                         started,
+                        trace,
+                        stages,
                         ..
                     }) = inflight.front()
                     {
-                        SERVE_OBS
-                            .request_ms
-                            .record(started.elapsed().as_secs_f64() * 1e3);
-                        let ka = *keep_alive;
-                        *inflight.front_mut().unwrap() = Outcome::Ready(resp, ka);
+                        let resp =
+                            render_decode(generation, &out, *trace, stages.as_deref(), started);
+                        let (ka, tr) = (*keep_alive, *trace);
+                        *inflight.front_mut().unwrap() = Outcome::Ready(resp, ka, tr);
                     }
                     continue; // flush it right away
                 }
                 Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
                 Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                    if let Some(Outcome::Pending { keep_alive, .. }) = inflight.front() {
-                        let ka = *keep_alive;
+                    if let Some(Outcome::Pending {
+                        keep_alive, trace, ..
+                    }) = inflight.front()
+                    {
+                        let (ka, tr) = (*keep_alive, *trace);
                         *inflight.front_mut().unwrap() = Outcome::Ready(
                             Response::error(500, "internal", "batcher dropped the request"),
                             ka,
+                            tr,
                         );
                     }
                     continue;
@@ -419,10 +477,66 @@ fn cancel_all(inflight: &mut std::collections::VecDeque<Outcome>) {
     }
 }
 
-fn dispatch(req: &Request, shared: &Shared) -> Outcome {
+/// Renders a finished decode into a response, recording latency, the
+/// `serve.serialize` span, and (when the client opted in) the
+/// `x-rpt-trace` stage-timing summary header. The header never touches
+/// the body, so traced and dark servers stay byte-identical on the wire
+/// payload.
+fn render_decode(
+    generation: u64,
+    out: &rpt_nn::JobOutput,
+    trace: ReqTrace,
+    stages: Option<&StageNs>,
+    started: &std::time::Instant,
+) -> Response {
+    SERVE_OBS
+        .request_ms
+        .record(started.elapsed().as_secs_f64() * 1e3);
+    let s0 = rpt_obs::now_ns();
+    let body = api::render_output(out, generation);
+    let mut resp = Response::json(200, body);
+    let s1 = rpt_obs::now_ns();
+    rpt_obs::emit_span(trace.trace_id, trace.root, "serve.serialize", s0, s1);
+    if trace.summary {
+        if let Some(stages) = stages {
+            let ms = |ns: u64| ns as f64 / 1e6;
+            resp.headers.push((
+                "x-rpt-trace",
+                format!(
+                    "id={:016x}; queue_wait_ms={:.3}; batch_wait_ms={:.3}; decode_ms={:.3}; serialize_ms={:.3}",
+                    trace.trace_id,
+                    ms(stages.queue_wait.load(Ordering::Relaxed)),
+                    ms(stages.batch_wait.load(Ordering::Relaxed)),
+                    ms(stages.decode.load(Ordering::Relaxed)),
+                    ms(s1.saturating_sub(s0)),
+                ),
+            ));
+        }
+    }
+    resp
+}
+
+fn dispatch(req: &Request, shared: &Shared, parse_start_ns: u64) -> Outcome {
     SERVE_OBS.requests.inc();
     let started = std::time::Instant::now();
-    match route(req, shared) {
+    // Open the request's root span at parse start; `serve.parse` covers
+    // header+body parsing plus routing/validation up to submission. Both
+    // are zero-cost no-ops when tracing is dark (ids stay 0).
+    let trace_id = rpt_obs::next_trace_id();
+    let root = rpt_obs::begin_span(trace_id, 0, "serve.request", parse_start_ns);
+    rpt_obs::emit_span(
+        trace_id,
+        root,
+        "serve.parse",
+        parse_start_ns,
+        rpt_obs::now_ns(),
+    );
+    let trace = ReqTrace {
+        trace_id,
+        root,
+        summary: req.header("x-rpt-trace").is_some_and(|v| v.trim() == "1"),
+    };
+    match route(req, shared, trace) {
         Routed::Ready(resp) => {
             if resp.status >= 400 && resp.status != 503 {
                 SERVE_OBS.errors.inc();
@@ -430,19 +544,25 @@ fn dispatch(req: &Request, shared: &Shared) -> Outcome {
             SERVE_OBS
                 .request_ms
                 .record(started.elapsed().as_secs_f64() * 1e3);
-            Outcome::Ready(resp, req.keep_alive)
+            Outcome::Ready(resp, req.keep_alive, trace)
         }
-        Routed::Pending { rx, cancel } => Outcome::Pending {
+        Routed::Pending { rx, cancel, stages } => Outcome::Pending {
             rx,
             cancel,
             keep_alive: req.keep_alive,
             started,
+            trace,
+            stages,
         },
     }
 }
 
-fn route(req: &Request, shared: &Shared) -> Routed {
-    match (req.method.as_str(), req.path.as_str()) {
+fn route(req: &Request, shared: &Shared, trace: ReqTrace) -> Routed {
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
             let generation = shared.state.generation.load(Ordering::Relaxed);
             Routed::Ready(Response::json(
@@ -455,16 +575,42 @@ fn route(req: &Request, shared: &Shared) -> Routed {
                 .to_string(),
             ))
         }
-        ("GET", "/metrics") => Routed::Ready(Response::json(
+        ("GET", "/metrics") => {
+            if query.split('&').any(|kv| kv == "format=text") {
+                Routed::Ready(Response::text(200, rpt_obs::metrics_text()))
+            } else {
+                Routed::Ready(Response::json(
+                    200,
+                    rpt_obs::snapshot().to_string_pretty(),
+                ))
+            }
+        }
+        ("GET", "/debug/tracez") => Routed::Ready(Response::json(
             200,
-            rpt_obs::snapshot().to_string_pretty(),
+            rpt_obs::tracez_json(32).to_string_pretty(),
         )),
-        ("POST", "/v1/clean") => submit(api::parse_clean(&req.body, &shared.model_cfg), shared),
-        ("POST", "/v1/detect") => submit(api::parse_detect(&req.body, &shared.model_cfg), shared),
-        ("POST", "/v1/match") => submit(api::parse_match(&req.body, &shared.model_cfg), shared),
-        (_, "/healthz" | "/metrics" | "/v1/clean" | "/v1/detect" | "/v1/match") => Routed::Ready(
-            Response::error(405, "method_not_allowed", "wrong method for this route"),
+        ("POST", "/v1/clean") => submit(
+            api::parse_clean(&req.body, &shared.model_cfg),
+            shared,
+            trace,
         ),
+        ("POST", "/v1/detect") => submit(
+            api::parse_detect(&req.body, &shared.model_cfg),
+            shared,
+            trace,
+        ),
+        ("POST", "/v1/match") => submit(
+            api::parse_match(&req.body, &shared.model_cfg),
+            shared,
+            trace,
+        ),
+        (_, "/healthz" | "/metrics" | "/debug/tracez" | "/v1/clean" | "/v1/detect" | "/v1/match") => {
+            Routed::Ready(Response::error(
+                405,
+                "method_not_allowed",
+                "wrong method for this route",
+            ))
+        }
         _ => Routed::Ready(Response::error(404, "not_found", "unknown route")),
     }
 }
@@ -473,13 +619,34 @@ fn route(req: &Request, shared: &Shared) -> Routed {
 /// and answers the client when the batcher delivers (responses stay in
 /// request order; the wait is bounded by decode time because the batcher
 /// never parks an admitted job).
-fn submit(spec: Result<rpt_nn::JobSpec, api::ApiError>, shared: &Shared) -> Routed {
+fn submit(spec: Result<rpt_nn::JobSpec, api::ApiError>, shared: &Shared, trace: ReqTrace) -> Routed {
     let spec = match spec {
         Ok(spec) => spec,
         Err(e) => return Routed::Ready(Response::error(400, e.code, &e.message)),
     };
     let (resp_tx, resp_rx) = sync_channel(1);
     let cancel = Arc::new(AtomicBool::new(false));
+    // Stage accounting rides the job so the batcher thread can attribute
+    // queue_wait/batch_wait/decode to this request's trace. None when
+    // dark: the batcher then does zero trace work for the job.
+    let (job_trace, stages) = if rpt_obs::trace_enabled() {
+        let stages = Arc::new(StageNs {
+            queue_wait: AtomicU64::new(0),
+            batch_wait: AtomicU64::new(0),
+            decode: AtomicU64::new(0),
+        });
+        (
+            Some(JobTrace {
+                trace_id: trace.trace_id,
+                root: trace.root,
+                enqueue_ns: rpt_obs::now_ns(),
+                stages: Arc::clone(&stages),
+            }),
+            Some(stages),
+        )
+    } else {
+        (None, None)
+    };
     // Count the job before sending it so the batcher's decrement (which
     // happens-after the send) can never observe an un-incremented depth.
     let depth = shared.state.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
@@ -488,10 +655,12 @@ fn submit(spec: Result<rpt_nn::JobSpec, api::ApiError>, shared: &Shared) -> Rout
         spec,
         resp: resp_tx,
         cancel: Arc::clone(&cancel),
+        trace: job_trace,
     }) {
         Ok(()) => Routed::Pending {
             rx: resp_rx,
             cancel,
+            stages,
         },
         Err(TrySendError::Full(_)) => {
             shared.state.queue_depth.fetch_sub(1, Ordering::Relaxed);

@@ -37,6 +37,15 @@
 #    in every arm, and a CLI smoke drive: `rpt shard` a corpus, run a
 #    short accumulated `rpt pretrain` with checkpoints (the kill), then
 #    --resume from the mid-corpus train state to completion.
+# 10. The observability gate: the tracing bit-identity suite at 1 and 4
+#    threads (instrumented training and serving byte-identical to dark),
+#    a fast-mode traced-vs-dark serve load-generator run — the committed
+#    full-mode bench_results/bench_obs.json must hold tracing's
+#    throughput cost under 3% — and a trace smoke drive: an RPT_TRACE=1
+#    `rpt serve` must answer /debug/tracez with a complete request
+#    trace, render the Prometheus text exposition, and echo the
+#    x-rpt-trace stage-summary header; a --trace-out CLI run must leave
+#    a dump that `rpt trace-report` renders.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,6 +67,12 @@ RPT_THREADS=4 cargo test -q --offline --release --test streaming_fault_injection
 # byte-identical decodes with and without a threaded global pool.
 RPT_THREADS=1 cargo test -q --offline --test serve_equivalence
 RPT_THREADS=4 cargo test -q --offline --test serve_equivalence
+
+# Tracing bit-identity gate: training and serving with every instrument
+# lit (trace ring, metrics, snapshots, summary headers) must match the
+# dark runs byte for byte, with and without a threaded global pool.
+RPT_THREADS=1 cargo test -q --offline --test obs_determinism
+RPT_THREADS=4 cargo test -q --offline --test obs_determinism
 
 # SIMD gate: RPT_SIMD=0 forces the scalar kernels; both settings must be
 # bit-identical (the suite also forces both kernels inside one process,
@@ -152,6 +167,39 @@ assert occ >= 8, f"batcher not coalescing: occupancy {occ:.2f} at concurrency 16
 s = serve["batch16_speedup"]
 assert s >= 1.2, f"batched throughput not above single-stream: {s:.3f}"
 print(f"verify: serve bench OK (occupancy {occ:.2f}, speedup {s:.3f})")
+PY
+fi
+
+# Observability-overhead gate: the traced-vs-dark serve load generator.
+# The fast-mode artifact must parse, show the ring actually recording,
+# and stay under a lenient degradation bar (3 short interleaved rounds
+# carry several percent of timer noise in either direction); the
+# committed full-mode bench_results/bench_obs.json holds the < 3% line
+# the serving path promises.
+RPT_BENCH_FAST=1 RPT_BENCH_DIR="$smoke_dir" \
+    cargo bench -q --offline -p rpt-bench --bench micro -- obs
+test -s "$smoke_dir/bench_obs.json" || {
+    echo "verify: obs bench artifact missing" >&2
+    exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$smoke_dir" <<'PY'
+import json, sys
+d = sys.argv[1]
+obs = json.load(open(f"{d}/bench_obs.json"))
+for key in ("dark_tokens_per_sec", "instrumented_tokens_per_sec",
+            "throughput_degradation", "ring_capacity",
+            "ring_events_recorded", "ring_occupancy", "dropped_events"):
+    assert key in obs, f"bench_obs missing {key}"
+assert obs["dark_tokens_per_sec"] > 0 and obs["instrumented_tokens_per_sec"] > 0
+assert obs["ring_events_recorded"] > 0, "traced rounds recorded no events"
+deg = obs["throughput_degradation"]
+assert deg < 0.15, f"tracing cost {deg:.1%} of serve throughput in fast mode"
+committed = json.load(open("bench_results/bench_obs.json"))
+cdeg = committed["throughput_degradation"]
+assert cdeg < 0.03, f"committed obs artifact above the 3% bar: {cdeg:.1%}"
+print(f"verify: obs bench OK (fast-mode degradation {deg:.1%}, "
+      f"committed {cdeg:.1%})")
 PY
 fi
 
@@ -295,10 +343,36 @@ for metric in train.step_ms train.tokens_per_sec decode.tokens \
     }
 done
 
+# Trace-capture smoke drive: a --trace-out run must leave a parseable
+# rpt-trace-v1 span dump covering the training path, and `rpt
+# trace-report` must render a self-time profile from it.
+./target/release/rpt clean "$smoke_dir/toy.csv" --steps 20 \
+    --trace-out "$smoke_dir/trace.json" \
+    --output "$smoke_dir/out5.csv" >/dev/null
+test -s "$smoke_dir/trace.json" || {
+    echo "verify: --trace-out wrote no dump" >&2
+    exit 1
+}
+grep -q '"rpt-trace-v1"' "$smoke_dir/trace.json" || {
+    echo "verify: trace dump is not rpt-trace-v1" >&2
+    exit 1
+}
+./target/release/rpt trace-report "$smoke_dir/trace.json" \
+    > "$smoke_dir/trace-report.txt"
+grep -q 'train.step' "$smoke_dir/trace-report.txt" || {
+    echo "verify: trace-report renders no train.step profile" >&2
+    cat "$smoke_dir/trace-report.txt" >&2
+    exit 1
+}
+
 # Serving smoke drive: `rpt serve` on an ephemeral port must answer every
 # endpoint over raw TCP (bash /dev/tcp — no curl dependency) and expose
-# the serve.* instrument family in /metrics.
-./target/release/rpt serve "$smoke_dir/toy.csv" --steps 20 \
+# the serve.* instrument family in /metrics. RPT_TRACE=1 lights the
+# request tracer, so the drive also checks the per-request trace
+# surfaces: /debug/tracez must hold a complete trace, /metrics must
+# render in Prometheus text form on request, and a client sending
+# x-rpt-trace: 1 must get the stage-summary header back.
+RPT_TRACE=1 ./target/release/rpt serve "$smoke_dir/toy.csv" --steps 20 \
     --checkpoint-dir "$smoke_dir/serve-ckpt" > "$smoke_dir/serve.log" &
 serve_pid=$!
 serve_addr=""
@@ -326,6 +400,9 @@ serve_get() {
 }
 serve_post() {
     serve_request "POST $1 HTTP/1.1\r\nHost: v\r\nContent-Length: ${#2}\r\nConnection: close\r\n\r\n$2"
+}
+serve_post_traced() { # opts into the x-rpt-trace stage-summary header
+    serve_request "POST $1 HTTP/1.1\r\nHost: v\r\nx-rpt-trace: 1\r\nContent-Length: ${#2}\r\nConnection: close\r\n\r\n$2"
 }
 
 serve_get /healthz | grep -q '"status":"ok"' || {
@@ -359,6 +436,25 @@ if command -v python3 >/dev/null 2>&1; then
         exit 1
     }
 fi
+serve_get '/metrics?format=text' | grep -q '# TYPE serve_requests counter' || {
+    echo "verify: Prometheus text exposition missing serve_requests" >&2
+    exit 1
+}
+serve_post_traced /v1/clean '{"src": [3, 4], "max_steps": 4}' \
+        | grep -qi 'x-rpt-trace:' || {
+    echo "verify: traced request got no x-rpt-trace summary header" >&2
+    exit 1
+}
+serve_get /debug/tracez > "$smoke_dir/tracez.json"
+grep -q '"complete": *true' "$smoke_dir/tracez.json" || {
+    echo "verify: /debug/tracez holds no complete request trace" >&2
+    cat "$smoke_dir/tracez.json" >&2
+    exit 1
+}
+grep -q '"serve.queue_wait"' "$smoke_dir/tracez.json" || {
+    echo "verify: /debug/tracez traces carry no stage spans" >&2
+    exit 1
+}
 kill "$serve_pid" 2>/dev/null || true
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""

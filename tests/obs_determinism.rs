@@ -8,6 +8,10 @@
 //! Both runs live in one test function because the enabled/disabled
 //! switches are process-global: the enabled run goes first, then the
 //! instruments are turned off and the dark run repeats from scratch.
+//! The serving path gets the same treatment: a trace-on server must
+//! return byte-identical response bodies to a dark one.
+
+mod common;
 
 use std::fs;
 use std::path::PathBuf;
@@ -116,4 +120,167 @@ fn instrumented_run_is_byte_identical_to_dark_run() {
         "final checkpoint bytes diverged between instrumented and dark runs"
     );
     fs::remove_dir_all(&scratch).ok();
+}
+
+/// The decode requests both servers answer, in order. Mixed modes so the
+/// comparison covers greedy, beam, forced-score, and detect rendering.
+fn serve_requests() -> Vec<(&'static str, String)> {
+    let ids = common::ids_json;
+    vec![
+        (
+            "/v1/clean",
+            format!(r#"{{"src": {}, "max_steps": 8}}"#, ids(&[9, 10])),
+        ),
+        (
+            "/v1/clean",
+            format!(
+                r#"{{"src": {}, "mode": "beam", "beam_width": 4, "max_steps": 8}}"#,
+                ids(&[11])
+            ),
+        ),
+        (
+            "/v1/match",
+            format!(
+                r#"{{"src": {}, "targets": {}}}"#,
+                ids(&[9, 10]),
+                ids(&[9, 10])
+            ),
+        ),
+        ("/v1/detect", format!(r#"{{"src": {}}}"#, ids(&[10, 9]))),
+    ]
+}
+
+fn start_server() -> rpt::serve::Server {
+    let (model, params) = common::trained_copy_model();
+    rpt::serve::Server::start(
+        model,
+        params,
+        rpt::serve::ServeConfig {
+            max_batch: 4,
+            queue_cap: 64,
+            ..Default::default()
+        },
+    )
+    .expect("server starts")
+}
+
+/// Sum of a trace's stage durations, if every stage is present.
+fn stage_sum_ns(spans: &[rpt_json::Json]) -> Option<u64> {
+    let dur_of = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.get("name").and_then(|n| n.as_str()) == Some(name))
+            .and_then(|s| s.get("dur_ns").and_then(|d| d.as_u64()))
+    };
+    Some(
+        dur_of("serve.queue_wait")?
+            + dur_of("serve.batch_wait")?
+            + dur_of("serve.decode")?
+            + dur_of("serve.serialize")?,
+    )
+}
+
+#[test]
+fn traced_server_is_byte_identical_to_dark_server() {
+    // Trace-on phase: every request also opts into the stage summary
+    // header, which must appear without perturbing the body.
+    rpt_obs::set_trace_enabled(true);
+    let server = start_server();
+    let addr = server.addr().to_string();
+    let traced: Vec<String> = serve_requests()
+        .iter()
+        .map(|(path, body)| {
+            let (status, head, resp) =
+                common::request_full(&addr, "POST", path, &[("x-rpt-trace", "1")], body);
+            assert_eq!(status, 200, "traced request failed: {resp}");
+            assert!(
+                head.to_ascii_lowercase().contains("x-rpt-trace:"),
+                "traced server must echo the stage summary header, got: {head}"
+            );
+            resp
+        })
+        .collect();
+
+    // The Prometheus exposition renders over the same registry.
+    let (status, text) = common::get(&addr, "/metrics?format=text");
+    assert_eq!(status, 200);
+    assert!(
+        text.contains("# TYPE serve_requests counter"),
+        "text exposition missing serve_requests: {text}"
+    );
+
+    // /debug/tracez must list at least one complete request trace whose
+    // stage spans sum to within the request's wall time. The root span
+    // closes just after the response bytes leave, so poll briefly.
+    let mut verified = false;
+    for _ in 0..200 {
+        let (status, body) = common::get(&addr, "/debug/tracez");
+        assert_eq!(status, 200);
+        let doc = rpt_json::Json::parse(&body).expect("tracez JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some("rpt-tracez-v1")
+        );
+        let traces = doc
+            .get("traces")
+            .and_then(|t| t.as_array())
+            .expect("traces array");
+        for trace in traces {
+            if trace.get("complete").and_then(|c| c.as_bool()) != Some(true) {
+                continue;
+            }
+            let spans = trace
+                .get("spans")
+                .and_then(|s| s.as_array())
+                .expect("spans array");
+            let Some(sum) = stage_sum_ns(spans) else {
+                continue; // not a decode trace (e.g. the tracez GET itself)
+            };
+            let wall = spans
+                .iter()
+                .find(|s| s.get("name").and_then(|n| n.as_str()) == Some("serve.request"))
+                .and_then(|s| s.get("dur_ns").and_then(|d| d.as_u64()))
+                .expect("complete trace has a root span duration");
+            assert!(
+                sum <= wall,
+                "stage durations ({sum}ns) exceed request wall time ({wall}ns)"
+            );
+            verified = true;
+        }
+        if verified {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        verified,
+        "no complete request trace with all four stage spans appeared in /debug/tracez"
+    );
+    server.shutdown();
+
+    // Dark phase: identical requests against identically trained weights,
+    // tracing off. Bodies must match byte for byte, and no summary header
+    // may appear even when the client asks for one.
+    rpt_obs::set_trace_enabled(false);
+    let server = start_server();
+    let addr = server.addr().to_string();
+    let dark: Vec<String> = serve_requests()
+        .iter()
+        .map(|(path, body)| {
+            let (status, head, resp) =
+                common::request_full(&addr, "POST", path, &[("x-rpt-trace", "1")], body);
+            assert_eq!(status, 200, "dark request failed: {resp}");
+            assert!(
+                !head.to_ascii_lowercase().contains("x-rpt-trace:"),
+                "dark server must not emit the summary header, got: {head}"
+            );
+            resp
+        })
+        .collect();
+    server.shutdown();
+
+    assert_eq!(
+        traced, dark,
+        "response bodies diverged between trace-on and dark servers"
+    );
 }

@@ -9,102 +9,14 @@
 //! sequences equal, and every score equal down to the `f32` bit
 //! pattern after its JSON `f64` round-trip.
 
-use std::io::{Read, Write};
-use std::net::TcpStream;
+mod common;
 
+use common::{ids_json, post, trained_copy_model, BOS, EOS};
 use rpt::json::Json;
 use rpt::nn::{
-    beam_search, forced_score, greedy_decode, BeamConfig, Ctx, Hypothesis, Seq2Seq, Sequence,
-    TokenBatch, TransformerConfig,
+    beam_search, forced_score, greedy_decode, BeamConfig, Hypothesis, Sequence, TokenBatch,
 };
 use rpt::serve::{ServeConfig, Server};
-use rpt::tensor::{clip_global_norm, Adam, AdamConfig, ParamStore, Tape};
-use rpt_rng::{SeedableRng, SmallRng};
-
-const BOS: usize = 1;
-const EOS: usize = 2;
-
-/// Trains a tiny copy model (output = input tokens) — the same recipe as
-/// `tests/decode_equivalence.rs`, so the oracles decode non-trivially.
-fn trained_copy_model() -> (Seq2Seq, ParamStore) {
-    let mut params = ParamStore::new();
-    let mut rng = SmallRng::seed_from_u64(0);
-    let model = Seq2Seq::new(&mut params, TransformerConfig::tiny(12), &mut rng);
-    let mut opt = Adam::new(AdamConfig {
-        lr: 3e-3,
-        ..Default::default()
-    });
-    let examples: Vec<Vec<usize>> = vec![
-        vec![9, 10],
-        vec![10, 9],
-        vec![11, 9],
-        vec![9, 11],
-        vec![10, 11],
-        vec![11, 10],
-    ];
-    for _ in 0..150 {
-        let srcs: Vec<Sequence> = examples
-            .iter()
-            .map(|e| Sequence::from_ids(e.clone()))
-            .collect();
-        let src = TokenBatch::from_sequences(&srcs, 16, 0);
-        let tgt_in: Vec<Sequence> = examples
-            .iter()
-            .map(|e| {
-                let mut v = vec![BOS];
-                v.extend(e);
-                Sequence::from_ids(v)
-            })
-            .collect();
-        let tgt_in = TokenBatch::from_sequences(&tgt_in, 16, 0);
-        let mut tgt_out = vec![0usize; tgt_in.b * tgt_in.t];
-        for (bi, e) in examples.iter().enumerate() {
-            for (i, &tok) in e.iter().enumerate() {
-                tgt_out[bi * tgt_in.t + i] = tok;
-            }
-            tgt_out[bi * tgt_in.t + e.len()] = EOS;
-        }
-        let tape = Tape::new();
-        let mut rng3 = SmallRng::seed_from_u64(2);
-        let mut ctx = Ctx::new(&tape, &mut params, &mut rng3, true);
-        let loss = model.reconstruction_loss(&mut ctx, &src, &tgt_in, &tgt_out, 0);
-        let mut grads = tape.backward(loss);
-        let mut pg = params.collect_grads(&mut grads);
-        clip_global_norm(&mut pg, 1.0);
-        opt.step(&mut params, &pg);
-    }
-    (model, params)
-}
-
-/// One-shot HTTP client: POST `body`, `Connection: close`, return
-/// `(status, body)`.
-fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    let req = format!(
-        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(req.as_bytes()).expect("write request");
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw).expect("read response");
-    let text = String::from_utf8(raw).expect("utf-8 response");
-    let status: u16 = text
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status line");
-    let body = text
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    (status, body)
-}
-
-fn ids_json(ids: &[usize]) -> String {
-    let inner: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
-    format!("[{}]", inner.join(", "))
-}
 
 fn tokens_of(doc: &Json, key: &str) -> Vec<usize> {
     match doc.get(key) {
